@@ -1,0 +1,47 @@
+"""A5 — ablation: FPGA consolidation (multiple servers per FPGA, §III-A).
+
+"Even at these higher loads, the FPGA remains underutilized, as the
+software portion of ranking saturates the host server before the FPGA
+is saturated.  Having multiple servers drive fewer FPGAs addresses the
+underutilization of the FPGAs, which is the goal of our remote
+acceleration model."
+
+The experiment: N ranking servers offload feature extraction to a
+shared pool of M remote FFU FPGAs.  Utilization climbs with N/M while
+query latency stays flat, until the pool itself saturates — so a large
+fraction of FPGAs can be freed for other hardware services.
+"""
+
+from repro.ranking import consolidation_sweep
+
+from conftest import fmt, print_table
+
+RATIOS = (1, 2, 3, 4)
+
+
+def run_sweep():
+    return consolidation_sweep(list(RATIOS), num_fpgas=2,
+                               queries_per_server=350)
+
+
+def test_ablation_consolidation(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "A5 — servers per FPGA: utilization vs query latency",
+        ("servers/FPGA", "FPGA util", "mean ms", "p99 ms"),
+        [(r.servers_per_fpga, fmt(r.fpga_utilization),
+          fmt(r.latency.mean * 1e3), fmt(r.latency.p99 * 1e3))
+         for r in sweep])
+    one, two, three, four = sweep
+    freed = 1 - 1 / two.servers_per_fpga
+    print(f"\nat 2 servers/FPGA, latency is still flat and "
+          f"{100 * freed:.0f}% of FPGAs are freed for other services")
+
+    # 1:1 leaves the FPGA mostly idle (the §III-A observation).
+    assert one.fpga_utilization < 0.6
+    # Consolidating 2:1 nearly doubles utilization at flat latency.
+    assert two.fpga_utilization > 1.5 * one.fpga_utilization
+    assert two.latency.p99 < 2.5 * one.latency.p99
+    # The pool saturates somewhere past 2:1: latency blows up.
+    assert four.fpga_utilization > 0.9
+    assert four.latency.p99 > 3 * two.latency.p99

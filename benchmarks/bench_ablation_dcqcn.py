@@ -1,0 +1,115 @@
+"""A4 — ablation: DC-QCN congestion control on vs off (§V-A).
+
+"Since the FPGAs are so tightly coupled to the network, they can react
+quickly and efficiently to congestion notification and back off when
+needed to reduce packets dropped from incast patterns. ... LTL also
+implements the DC-QCN end-to-end congestion control scheme."
+
+The experiment: a sustained six-way incast on a *droppable* traffic
+class with a small switch queue and ECN marking.  With DC-QCN, marks
+turn into CNPs, senders cut their rates at the source, and the queue
+rarely overflows; without it, the queue tail-drops and LTL pays
+retransmissions — trading a somewhat longer (paced) completion for far
+fewer drops, exactly the paper's "back off when needed".
+"""
+
+from repro.core import ConfigurableCloud
+from repro.fpga import ShellConfig
+from repro.ltl import LtlConfig
+from repro.net import EcnConfig, TopologyConfig, TrafficClass, idle
+from repro.net.dcqcn import DcqcnConfig
+
+from conftest import fmt, print_table
+
+SENDERS = 6
+MESSAGES = 400
+MESSAGE_BYTES = 1400
+
+
+def run_incast(congestion_control: bool):
+    topology = TopologyConfig(
+        background=idle(),
+        ecn=EcnConfig(kmin_bytes=3 * 1024, kmax_bytes=16 * 1024,
+                      pmax=0.5))
+    cloud = ConfigurableCloud(topology=topology, seed=55)
+    dcqcn = DcqcnConfig(cnp_min_interval=20e-6,
+                        cnp_generation_interval=20e-6,
+                        increase_period=150e-6)
+
+    def shell_config():
+        return ShellConfig(
+            ltl=LtlConfig(congestion_control=congestion_control,
+                          window_frames=8,
+                          max_consecutive_timeouts=10 ** 6,
+                          dcqcn=dcqcn),
+            ltl_traffic_class=TrafficClass.BEST_EFFORT)
+
+    receiver = cloud.add_server(0, enroll=False,
+                                shell_config=shell_config())
+    senders = [cloud.add_server(1 + i, enroll=False,
+                                shell_config=shell_config())
+               for i in range(SENDERS)]
+    coords = cloud.fabric.topology.coords(0)
+    tor = cloud.fabric.topology.tor(coords.pod, coords.tor)
+    tor.ports[0].queue_capacity_bytes = 32 * 1024
+
+    delivered = []
+    receiver.shell.role_receive = lambda p, n: delivered.append(
+        cloud.env.now)
+    for sender in senders:
+        sender.shell.connect_to(receiver.shell)
+
+    def burst(env):
+        for sender in senders:
+            for _ in range(MESSAGES):
+                sender.shell.remote_send(
+                    0, b"\x00" * MESSAGE_BYTES, MESSAGE_BYTES)
+        yield env.timeout(0)
+
+    cloud.env.process(burst(cloud.env))
+    cloud.run(until=2.0)
+    return {
+        "delivered": len(delivered),
+        "expected": SENDERS * MESSAGES,
+        "drops": sum(p.stats.dropped for p in tor.ports.values()),
+        "ecn_marked": tor.stats.ecn_marked,
+        "rate_cuts": sum(
+            state.dcqcn.rate_cuts for s in senders
+            for state in s.shell.ltl.send_table.values()),
+        "retransmissions": sum(
+            s.shell.ltl.stats.retransmissions for s in senders),
+        "completion_ms": 1e3 * (max(delivered) - min(delivered)),
+    }
+
+
+def test_ablation_dcqcn(benchmark):
+    with_cc, without_cc = benchmark.pedantic(
+        lambda: (run_incast(True), run_incast(False)),
+        rounds=1, iterations=1)
+    print_table(
+        "A4 — sustained incast, droppable class: DC-QCN on vs off",
+        ("metric", "DC-QCN on", "DC-QCN off"),
+        [("delivered",
+          f"{with_cc['delivered']}/{with_cc['expected']}",
+          f"{without_cc['delivered']}/{without_cc['expected']}"),
+         ("switch drops", with_cc["drops"], without_cc["drops"]),
+         ("ECN marked", with_cc["ecn_marked"],
+          without_cc["ecn_marked"]),
+         ("sender rate cuts", with_cc["rate_cuts"],
+          without_cc["rate_cuts"]),
+         ("LTL retransmissions", with_cc["retransmissions"],
+          without_cc["retransmissions"]),
+         ("completion (ms)", fmt(with_cc["completion_ms"]),
+          fmt(without_cc["completion_ms"]))])
+
+    # Reliability holds either way.
+    assert with_cc["delivered"] == with_cc["expected"]
+    assert without_cc["delivered"] == without_cc["expected"]
+    # DC-QCN reacts: rate cuts happen only when enabled...
+    assert with_cc["rate_cuts"] > 0
+    assert without_cc["rate_cuts"] == 0
+    # ...and sharply reduce drops, marks, and retransmissions.
+    assert with_cc["drops"] < 0.5 * without_cc["drops"]
+    assert with_cc["ecn_marked"] < 0.5 * without_cc["ecn_marked"]
+    assert with_cc["retransmissions"] < \
+        0.6 * without_cc["retransmissions"]

@@ -1,0 +1,46 @@
+"""E6 — Fig. 10: LTL round-trip latency vs number of reachable hosts.
+
+Measures idle LTL RTT across many sender-receiver pairs at each network
+tier, "from the moment the header of a packet is generated in LTL until
+the corresponding ACK for that packet is received in LTL", plus the
+Catapult v1 6x8 torus baseline.
+
+Paper numbers:
+  L0 (24 hosts)      avg 2.88 us, 99.9th 2.9 us
+  L1 (960 hosts)     avg 7.72 us, 99.9th 8.24 us
+  L2 (250k+ hosts)   avg 18.71 us, 99.9th 22.38 us, max < 23.5 us
+  torus (48 FPGAs)   ~1 us nearest-neighbor RTT, 7 us worst case
+
+Canonical implementation: :mod:`repro.experiments.fig10`.
+"""
+
+import pytest
+
+from repro.experiments import fig10
+
+from conftest import fmt, print_table
+
+
+def test_fig10_ltl_round_trip(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    print_table("Fig. 10 — LTL round-trip latency (us)",
+                ("tier", "reachable", "avg", "p99.9", "max"),
+                [(tier, reach, fmt(avg), fmt(p999), fmt(mx))
+                 for tier, reach, avg, p999, mx in result.rows()])
+    print("\npaper: L0 2.88/2.90, L1 7.72/8.24, L2 18.71/22.38 "
+          "(avg/p99.9 us); torus 1 us 1-hop, 7 us worst-case")
+
+    tiers = result.tiers
+    # Absolute calibration (idle latencies are the paper's headline).
+    assert tiers["L0"].avg == pytest.approx(2.88e-6, rel=0.03)
+    assert tiers["L0"].p999 == pytest.approx(2.9e-6, rel=0.05)
+    assert tiers["L1"].avg == pytest.approx(7.72e-6, rel=0.05)
+    assert tiers["L1"].p999 == pytest.approx(8.24e-6, rel=0.12)
+    assert tiers["L2"].avg == pytest.approx(18.71e-6, rel=0.12)
+    # "L2 latency never exceeded 23.5 us in any of our experiments."
+    assert tiers["L2"].max < 23.5e-6
+    # Tier ordering and torus comparison: comparable at rack scale,
+    # but the torus reaches only 48 FPGAs.
+    assert tiers["L0"].avg < tiers["L1"].avg < tiers["L2"].avg
+    assert min(result.torus.samples) == pytest.approx(1e-6, rel=0.15)
+    assert result.torus.max == pytest.approx(7e-6, rel=0.15)

@@ -1,0 +1,53 @@
+"""E8 — Fig. 12: remote DNN pool latency vs oversubscription.
+
+Average / 95th / 99th percentile request latencies as the ratio of
+software clients to pooled FPGAs grows from 0.5 to 3.0 (the paper's
+x-axis), normalized to locally-attached performance in each latency
+category.  Headline numbers at 1:1 remote vs local: +1% avg, +4.7% 95th,
++32% 99th; latency spikes as the pool saturates near 3 stress clients
+per FPGA.
+
+Canonical implementation: :mod:`repro.experiments.fig12`.
+"""
+
+import pytest
+
+from repro.experiments import fig12
+
+from conftest import fmt, print_table
+
+
+def test_fig12_oversubscription(benchmark):
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    local = result.local
+    rows = []
+    for point in result.points:
+        lat = point.latency
+        rows.append((fmt(point.oversubscription),
+                     fmt(lat.mean / local.latency.mean),
+                     fmt(lat.p95 / local.latency.p95),
+                     fmt(lat.p99 / local.latency.p99)))
+    print_table(
+        "Fig. 12 — remote DNN latency vs oversubscription "
+        "(normalized to locally-attached)",
+        ("clients/FPGA", "avg", "p95", "p99"), rows)
+
+    avg_overhead, _p95_overhead, p99_overhead = \
+        result.one_to_one_overheads()
+    print(f"\n1:1 remote overheads: avg {100 * avg_overhead:+.1f}% "
+          f"(paper +1%), p99 {100 * p99_overhead:+.1f}% (paper +32%)")
+
+    # Shape assertions:
+    # 1. 1:1 remote adds a small average overhead but a large p99 one.
+    assert 0.0 < avg_overhead < 0.08
+    assert 0.10 < p99_overhead < 0.60
+    assert p99_overhead > 4 * avg_overhead
+    # 2. Latency is flat-ish through moderate oversubscription...
+    one_to_one = result.at_ratio(1.0)
+    mid = result.at_ratio(2.0)
+    assert mid.latency.mean < 1.6 * one_to_one.latency.mean
+    # 3. ...then spikes as the pool saturates near 3 clients/FPGA.
+    saturated = result.points[-1]
+    assert saturated.oversubscription == pytest.approx(3.0)
+    assert saturated.latency.p99 > 2.0 * mid.latency.p99
+    assert saturated.latency.mean > 1.8 * mid.latency.mean

@@ -1,0 +1,35 @@
+"""E1 — Fig. 5: area and frequency breakdown of the production image.
+
+Regenerates the per-component ALM/percentage/clock table and checks the
+invariants the paper's text states (shell 44%, MACs 14%, DDR 8%, LTL 7%,
+ER 2%, total 76%).
+"""
+
+from repro.fpga import AreaBudget
+
+from conftest import print_table
+
+
+def build_fig5_table():
+    budget = AreaBudget()
+    rows = []
+    for row in budget.rows():
+        freq = "" if row["freq_mhz"] is None else f"{row['freq_mhz']:.0f}"
+        rows.append((row["component"], f"{row['alms']:,}",
+                     f"{row['percent']}%", freq))
+    return budget, rows
+
+
+def test_fig5_shell_area(benchmark):
+    budget, rows = benchmark.pedantic(build_fig5_table, rounds=1,
+                                      iterations=1)
+    print_table("Fig. 5 — Area and frequency breakdown",
+                ("component", "ALMs", "%", "MHz"), rows)
+
+    # Paper invariants.
+    assert budget.used_alms == 131_350
+    assert round(100 * budget.used_fraction) == 76
+    assert round(100 * budget.shell_fraction) == 44
+    assert round(100 * budget.fraction_of("LTL Protocol Engine")) == 7
+    assert round(100 * budget.fraction_of("Elastic Router")) == 2
+    assert round(100 * budget.fraction_of("DDR3 Memory Controller")) == 8

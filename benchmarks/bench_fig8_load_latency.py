@@ -1,0 +1,58 @@
+"""E4 — Fig. 8: query 99.9% latency vs offered load, from the 5-day data.
+
+The scatter underlying Fig. 7, binned by load: the software DC's
+latencies climb with load (and its balancer caps the load it will
+admit), while the FPGA DC "is able to absorb more than twice the offered
+load, while executing queries at a latency that never exceeds the
+software datacenter at any load."
+"""
+
+from collections import defaultdict
+
+from repro.ranking.production import run_five_day_study
+from repro.workloads import DiurnalTraceConfig
+
+from conftest import fmt, print_table
+
+
+def run_fig8():
+    return run_five_day_study(
+        DiurnalTraceConfig(days=5, windows_per_day=16),
+        queries_per_window=220, seed=2)
+
+
+def bin_by_load(windows, target, bin_width=0.25):
+    bins = defaultdict(list)
+    for w in windows:
+        bins[round(w.admitted_load / bin_width) * bin_width].append(
+            w.p999_latency / target)
+    return {load: sum(v) / len(v) for load, v in sorted(bins.items())}
+
+
+def test_fig8_load_vs_latency(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    target = result.latency_target
+    sw_bins = bin_by_load(result.software, target)
+    fp_bins = bin_by_load(result.fpga, target)
+    rows = []
+    for load in sorted(set(sw_bins) | set(fp_bins)):
+        rows.append((fmt(load),
+                     fmt(sw_bins[load]) if load in sw_bins else "-",
+                     fmt(fp_bins[load]) if load in fp_bins else "-"))
+    print_table("Fig. 8 — p99.9 latency vs offered load (normalized)",
+                ("load", "software", "fpga"), rows)
+
+    max_sw_load = max(w.admitted_load for w in result.software)
+    max_fp_load = max(w.offered_load for w in result.fpga)
+    print(f"\nmax observed load: software {max_sw_load:.2f} (balancer-"
+          f"capped), FPGA {max_fp_load:.2f}")
+
+    # The paper's two claims:
+    # 1. FPGA absorbs more than twice the software load.
+    assert max_fp_load > 2.0 * max_sw_load
+    # 2. FPGA latency never exceeds software latency at any shared load.
+    for load in set(sw_bins) & set(fp_bins):
+        assert fp_bins[load] <= sw_bins[load]
+    # 3. Software latency grows with load (the spike behaviour).
+    sw_loads = sorted(sw_bins)
+    assert sw_bins[sw_loads[-1]] > sw_bins[sw_loads[0]]

@@ -1,0 +1,73 @@
+"""E9 — §II-B: the 5,760-server deployment and reliability study.
+
+Runs the burn-in protocol over the full bed and a month of mirrored
+traffic, regenerating the paper's reliability report: ~2 FPGA hard
+failures, 1 cable failure, 5 PCIe Gen3 training failures, 8 DRAM
+calibration failures, one SEU bit-flip per 1025 machine-days.
+"""
+
+import pytest
+
+from repro.deployment import (
+    FLEET_SIZE,
+    Fleet,
+    MirroredTrafficStudy,
+    RANKING_SERVERS,
+    expected_report,
+)
+
+from conftest import fmt, print_table
+
+
+def run_deployment():
+    fleet = Fleet(size=FLEET_SIZE, seed=20)
+    fleet.run_burn_in()
+    fleet.deploy_ranking()
+    # Average the month-long study over several seeds so the report is
+    # a stable estimate rather than one Poisson draw.
+    reports = [MirroredTrafficStudy(seed=s).run() for s in range(25)]
+    return fleet, reports
+
+
+def test_sec2_deployment_study(benchmark):
+    fleet, reports = benchmark.pedantic(run_deployment, rounds=1,
+                                        iterations=1)
+    expected = expected_report()
+    n = len(reports)
+
+    def mean(attr):
+        return sum(getattr(r, attr) for r in reports) / n
+
+    rows = [
+        ("FPGA hard failures / month", "2",
+         fmt(mean("fpga_hard_failures"))),
+        ("cable failures / month", "1", fmt(mean("cable_failures"))),
+        ("PCIe Gen3 training failures", "5",
+         fmt(mean("pcie_training_failures"))),
+        ("DRAM calibration failures", "8",
+         fmt(mean("dram_calibration_failures"))),
+        ("SEU flips / month", fmt(expected["seu_flips"], 1),
+         fmt(mean("seu_flips"), 1)),
+        ("machine-days per SEU flip", "1025",
+         fmt(reports[0].machine_days / max(1, mean("seu_flips")), 0)),
+    ]
+    print_table("§II-B — deployment reliability (paper vs simulated, "
+                f"mean of {n} runs)", ("metric", "paper", "simulated"),
+                rows)
+    summary = fleet.summary()
+    print(f"\nburn-in: {summary['approved']:.0f}/{FLEET_SIZE} approved, "
+          f"max power-virus draw {summary['max_power_virus_w']:.1f} W, "
+          f"{summary['ranking_servers']:.0f} machines to ranking "
+          f"(paper: {RANKING_SERVERS})")
+
+    assert summary["approved"] == FLEET_SIZE  # "The servers all passed"
+    assert summary["ranking_servers"] == RANKING_SERVERS
+    assert mean("fpga_hard_failures") == pytest.approx(2.0, abs=1.0)
+    assert mean("cable_failures") == pytest.approx(1.0, abs=0.75)
+    assert mean("pcie_training_failures") == pytest.approx(5.0, abs=2.0)
+    assert mean("dram_calibration_failures") == pytest.approx(8.0,
+                                                              abs=2.5)
+    assert mean("seu_flips") == pytest.approx(expected["seu_flips"],
+                                              rel=0.1)
+    # Every hang was recovered by scrubbing.
+    assert all(r.seu_recoveries == r.seu_role_hangs for r in reports)

@@ -1,0 +1,52 @@
+"""E10 — §II: the power virus and the board's power envelope.
+
+"Under these conditions, the card consumes 29.2 W of power, which is
+well within the 32 W TDP limits for a card running in a single server in
+our datacenter, and below the max electrical power draw limit of 35 W."
+"""
+
+import pytest
+
+from repro.fpga import (
+    POWER_VIRUS_UTILIZATION,
+    RANKING_ROLE_UTILIZATION,
+    PowerModel,
+    ThermalConditions,
+    validate_envelope,
+)
+
+from conftest import fmt, print_table
+
+
+def run_power_study():
+    model = PowerModel()
+    scenarios = {
+        "idle (nominal)": ({}, ThermalConditions()),
+        "ranking role (nominal)": (RANKING_ROLE_UTILIZATION,
+                                   ThermalConditions()),
+        "power virus (nominal)": (POWER_VIRUS_UTILIZATION,
+                                  ThermalConditions()),
+        "power virus (thermal chamber)": (POWER_VIRUS_UTILIZATION,
+                                          ThermalConditions.worst_case()),
+    }
+    rows = {name: model.power_w(util, cond)
+            for name, (util, cond) in scenarios.items()}
+    return rows, validate_envelope()
+
+
+def test_sec2_power_envelope(benchmark):
+    rows, envelope = benchmark.pedantic(run_power_study, rounds=1,
+                                        iterations=1)
+    print_table("§II — card power (W)", ("scenario", "watts"),
+                [(name, fmt(watts, 1)) for name, watts in rows.items()])
+    print(f"\npower virus worst-case: "
+          f"{envelope['power_virus_w']:.1f} W vs TDP "
+          f"{envelope['tdp_w']:.0f} W / electrical limit "
+          f"{envelope['max_power_w']:.0f} W (paper: 29.2 W)")
+
+    assert envelope["power_virus_w"] == pytest.approx(29.2, abs=0.15)
+    assert envelope["within_tdp"]
+    assert envelope["within_electrical_limit"]
+    # Ordering: idle < role < virus < worst-case virus.
+    values = list(rows.values())
+    assert values == sorted(values)

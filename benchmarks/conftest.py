@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure from the paper's
+evaluation.  Benchmarks print the rows/series the paper reports (run
+pytest with ``-s`` to see them) and assert the reproduced *shape* —
+who wins, by what factor, where crossovers fall.
+"""
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Fixed-width table, printed into the benchmark output."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A complete remote hardware service with automatic failover.
+
+Combines everything: HaaS leases FPGAs from the global pool and deploys
+a role image; a client's FPGA talks to the service members directly over
+LTL; when a member dies *silently*, the client's LTL engine detects it
+within hundreds of microseconds (consecutive 50 us timeouts), HaaS
+revokes the lease and provisions a replacement, and requests keep
+flowing — "failing nodes are removed from the pool with replacements
+quickly added."
+
+Run:  python examples/hardware_service_failover.py
+"""
+
+from repro.core import ConfigurableCloud, HardwareService
+from repro.fpga import Image, ShellConfig
+from repro.haas import Constraints
+from repro.ltl import LtlConfig
+
+
+def main() -> None:
+    cloud = ConfigurableCloud(seed=17)
+    fast_detect = ShellConfig(ltl=LtlConfig(max_consecutive_timeouts=3))
+    client = cloud.add_server(100, enroll=False,
+                              shell_config=fast_detect)
+    cloud.add_servers(list(range(6)))  # the donated pool
+
+    service = HardwareService(
+        cloud, "feature-extraction", Image("ffu-v2", "ffu"),
+        Constraints(count=1), components=2)
+    cloud.run(until=1.0)  # role images deploy (partial reconfiguration)
+
+    answered = []
+    service.set_handler(lambda payload, n: answered.append(payload))
+    service.attach_client(client)
+    print(f"service '{service.name}' on FPGAs {service.hosts}, "
+          f"pool has {len(cloud.resource_manager.free_hosts())} spares")
+
+    for i in range(4):
+        service.request(client, f"query-{i}".encode(), 64)
+    cloud.run(until=cloud.env.now + 2e-3)
+    print(f"served {len(answered)} requests across the members")
+
+    victim = service.hosts[0]
+    print(f"\n... FPGA {victim} dies silently (no FIN, no RST, "
+          f"nothing — it is hardware) ...")
+    cloud.fabric.detach(victim)
+    for i in range(2):  # next requests flush out the dead member
+        service.request(client, f"probe-{i}".encode(), 64)
+    cloud.run(until=cloud.env.now + 5e-3)
+
+    print(f"LTL-detected failovers: {service.failovers}; "
+          f"HaaS replacements: {service.sm.stats.replacements}")
+    print(f"service now on FPGAs {service.hosts} "
+          f"(FPGA {victim} evicted)")
+
+    answered.clear()
+    for i in range(4):
+        service.request(client, f"after-{i}".encode(), 64)
+    cloud.run(until=cloud.env.now + 2e-3)
+    print(f"service healthy again: {len(answered)}/4 requests answered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Host-to-host line-rate flow encryption in the bridge tap (paper §IV).
+
+Software sets up an encrypted flow between two servers; every matching
+packet is AES-GCM encrypted by the sender's FPGA and decrypted by the
+receiver's FPGA — real AES, transparently, "which sees all packets as
+unencrypted at the end points."  Then the §IV cost model: CPU cores saved
+at 40 Gb/s per cipher suite, and the FPGA-vs-software latency trade.
+
+Run:  python examples/network_crypto.py
+"""
+
+from repro import ConfigurableCloud
+from repro.crypto import (
+    EncryptionTap,
+    FlowKey,
+    FpgaCryptoEngine,
+    SoftwareCryptoModel,
+)
+
+
+def transparent_flow_demo() -> None:
+    cloud = ConfigurableCloud(seed=1)
+    sender = cloud.add_server(0)
+    receiver = cloud.add_server(1)
+
+    tap_tx, tap_rx = EncryptionTap(), EncryptionTap()
+    tap_tx.install(sender.shell.bridge)
+    tap_rx.install(receiver.shell.bridge)
+
+    # Control plane: both ends install the flow key.
+    packet = sender.shell.attachment.make_packet(
+        1, b"credit card numbers, obviously " * 8,
+        src_port=7000, dst_port=7001)
+    flow = FlowKey.of_packet(packet)
+    session_key = bytes(range(16))
+    tap_tx.flows.setup_flow(flow, session_key)
+    tap_rx.flows.setup_flow(flow, session_key)
+
+    received = []
+    receiver.on_packet(lambda p: received.append(p.payload))
+    sender.nic_send(packet)
+    cloud.run(until=1e-3)
+
+    print("flow encryption demo")
+    print(f"  plaintext delivered to receiver NIC: "
+          f"{received[0][:31]!r}...")
+    print(f"  packets encrypted={tap_tx.encrypted} "
+          f"decrypted={tap_rx.decrypted} (0 CPU cycles spent)")
+
+
+def cost_model_demo() -> None:
+    software = SoftwareCryptoModel()
+    engine = FpgaCryptoEngine()
+
+    print("\n40 Gb/s crypto cost (Haswell @ 2.4 GHz, full duplex)")
+    print(f"{'suite':>20} {'cores needed':>13} {'freed by FPGA':>14}")
+    for suite in ("aes-gcm-128", "aes-gcm-256", "aes-cbc-128",
+                  "aes-cbc-128-sha1"):
+        cores = software.cores_for_line_rate(suite)
+        print(f"{suite:>20} {cores:>13.2f} {cores:>14.2f}")
+
+    print("\nper-packet latency, 1500 B, AES-CBC-128-SHA1 "
+          "(the paper's honest trade-off)")
+    print(f"  FPGA (33-packet interleave): "
+          f"{engine.cbc_sha1_latency(1500) * 1e6:5.1f} us (paper: 11 us)")
+    print(f"  software                   : "
+          f"{software.packet_latency('aes-cbc-128-sha1', 1500) * 1e6:5.1f}"
+          f" us (paper: ~4 us)")
+    print(f"  FPGA AES-GCM (pipelined)   : "
+          f"{engine.gcm_latency(1500) * 1e6:5.2f} us")
+
+
+if __name__ == "__main__":
+    transparent_flow_demo()
+    cost_model_demo()

@@ -1,0 +1,60 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro                 # list experiments
+    python -m repro E6              # run Fig. 10 and print its rows
+    python -m repro E10 E1          # run several
+
+For the full harness (with shape assertions and the remaining
+experiments) use ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import experiments
+
+
+def _print_result(key: str, result) -> None:
+    print(f"\n== {key}: {experiments.REGISTRY[key][0]} ==")
+    rows = getattr(result, "rows", None)
+    if callable(rows):
+        for row in rows():
+            if isinstance(row, dict):
+                print("  " + "  ".join(f"{k}={v}"
+                                       for k, v in row.items()))
+            else:
+                print("  " + "  ".join(str(c) for c in row))
+        return
+    as_dict = getattr(result, "as_dict", None)
+    if callable(as_dict):
+        result = as_dict()
+    if isinstance(result, dict):
+        for name, value in result.items():
+            print(f"  {name}: {value}")
+        return
+    print(f"  {result!r}")
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("Available experiments (see DESIGN.md / EXPERIMENTS.md):")
+        for key, (description, _runner) in experiments.REGISTRY.items():
+            print(f"  {key:>4}  {description}")
+        print("\nRun one with: python -m repro <id>")
+        return 0
+    unknown = [key for key in argv if key not in experiments.REGISTRY]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    for key in argv:
+        _description, runner = experiments.REGISTRY[key]
+        _print_result(key, runner())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

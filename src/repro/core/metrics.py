@@ -1,0 +1,101 @@
+"""Latency/throughput measurement helpers used by every experiment."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..sim.randomness import percentile
+
+
+class LatencyRecorder:
+    """Collects latency samples; answers percentile/mean queries."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("negative latency")
+        self.samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples")
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            raise ValueError("no samples")
+        return percentile(sorted(self.samples), q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    @property
+    def max(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples")
+        return max(self.samples)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max,
+        }
+
+
+@dataclass
+class ThroughputMeter:
+    """Counts completions over a window to compute achieved throughput."""
+
+    started_at: float = 0.0
+    completions: int = 0
+    last_completion_at: float = 0.0
+
+    def record(self, now: float) -> None:
+        self.completions += 1
+        self.last_completion_at = now
+
+    def rate(self, now: Optional[float] = None) -> float:
+        end = now if now is not None else self.last_completion_at
+        elapsed = end - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.completions / elapsed
+
+
+def normalize(values: Iterable[float], reference: float) -> List[float]:
+    """Divide each value by ``reference`` (the paper's normalization)."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return [v / reference for v in values]

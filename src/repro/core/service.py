@@ -1,0 +1,97 @@
+"""HardwareService: ganging pooled FPGAs into a callable service.
+
+The paper's remote-acceleration story end to end: a Service Manager
+leases FPGAs from the Resource Manager, deploys a role image, the
+client's FPGA opens LTL connections to every member, requests are
+load-balanced across the pool, and LTL's fast failure detection feeds
+back into HaaS so failed members are replaced and reconnected — "failing
+nodes are removed from the pool with replacements quickly added."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..fpga.reconfig import Image
+from ..haas.constraints import Constraints
+from ..haas.service_manager import ServiceManager
+from .cloud import ConfigurableCloud
+from .server import Server
+
+
+class HardwareService:
+    """A remotely-callable hardware service on the global FPGA pool."""
+
+    def __init__(self, cloud: ConfigurableCloud, name: str, image: Image,
+                 constraints: Optional[Constraints] = None,
+                 components: int = 1):
+        self.cloud = cloud
+        self.name = name
+        self.sm = ServiceManager(cloud.env, name, cloud.resource_manager,
+                                 image, constraints)
+        self.sm.grow(components)
+        self._clients: Dict[int, Server] = {}
+        self.requests_sent = 0
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hosts(self):
+        """FPGAs currently serving this service."""
+        return self.sm.hosts
+
+    def set_handler(self, handler: Callable[[Any, int], None],
+                    role: int = 0) -> None:
+        """Install the role's request handler on every serving FPGA.
+
+        (Also re-applied to replacements on failover.)
+        """
+        self._handler = (handler, role)
+        for host in self.hosts:
+            self.cloud.shell(host).set_role_handler(role, handler)
+
+    # ------------------------------------------------------------------
+    def attach_client(self, server: Server) -> None:
+        """Connect a client server's FPGA to every service member and
+        arm fast failure detection."""
+        self._clients[server.host_index] = server
+        for host in self.hosts:
+            self.cloud.connect(server.host_index, host)
+        server.shell.on_remote_failure = lambda host: \
+            self._on_remote_failure(server, host)
+
+    def request(self, client: Server, payload: Any,
+                length_bytes: int, role: int = 0) -> int:
+        """Send one request from ``client`` to the next pool member.
+
+        Returns the host index the request was dispatched to.
+        """
+        if client.host_index not in self._clients:
+            raise RuntimeError("attach_client() before request()")
+        host = self.sm.pick()
+        self.cloud.connect(client.host_index, host)  # idempotent
+        client.shell.remote_send(host, payload, length_bytes,
+                                 dst_role=role)
+        self.requests_sent += 1
+        return host
+
+    # ------------------------------------------------------------------
+    def _on_remote_failure(self, client: Server, failed_host: int) -> None:
+        """A client's LTL declared a member dead: feed HaaS, reconnect."""
+        self.failovers += 1
+        rm = self.cloud.resource_manager
+        try:
+            manager = rm.manager(failed_host)
+        except KeyError:
+            return
+        if manager.health.value != "failed":
+            manager.mark_failed()  # triggers SM replacement via RM
+        # Re-install the handler on any replacement members and connect
+        # existing clients to them.
+        handler = getattr(self, "_handler", None)
+        for host in self.hosts:
+            if handler is not None:
+                self.cloud.shell(host).set_role_handler(
+                    handler[1], handler[0])
+            for attached in self._clients.values():
+                self.cloud.connect(attached.host_index, host)

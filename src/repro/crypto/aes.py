@@ -1,0 +1,210 @@
+"""AES block cipher (FIPS-197), implemented from scratch.
+
+Supports AES-128/192/256 encryption and decryption of single 16-byte
+blocks.  This is the functional core behind the shell's line-rate flow
+encryption (§IV); cipher *modes* live in :mod:`repro.crypto.modes` and
+*timing* in :mod:`repro.crypto.engine` / :mod:`repro.crypto.swmodel`.
+
+The implementation favors clarity over speed (table-driven SubBytes and
+xtime-based MixColumns); correctness is pinned by the FIPS-197 and NIST
+test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+BLOCK_BYTES = 16
+
+
+def _build_sbox() -> tuple:
+    """Generate the AES S-box from the finite-field definition."""
+
+    def gf_mul(a: int, b: int) -> int:
+        result = 0
+        for _ in range(8):
+            if b & 1:
+                result ^= a
+            high = a & 0x80
+            a = (a << 1) & 0xFF
+            if high:
+                a ^= 0x1B
+            b >>= 1
+        return result
+
+    # Multiplicative inverses in GF(2^8) by brute force (build-time only).
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if gf_mul(x, y) == 1:
+                inverse[x] = y
+                break
+    sbox = [0] * 256
+    for x in range(256):
+        s = inverse[x]
+        result = 0
+        for i in range(8):
+            bit = ((s >> i) & 1) ^ ((s >> ((i + 4) % 8)) & 1) \
+                ^ ((s >> ((i + 5) % 8)) & 1) ^ ((s >> ((i + 6) % 8)) & 1) \
+                ^ ((s >> ((i + 7) % 8)) & 1) ^ ((0x63 >> i) & 1)
+            result |= bit << i
+        sbox[x] = result
+    inv_sbox = [0] * 256
+    for x, v in enumerate(sbox):
+        inv_sbox[v] = x
+    return tuple(sbox), tuple(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36,
+        0x6C, 0xD8, 0xAB, 0x4D)
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a = (a ^ 0x1B) & 0xFF
+    return a
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiply used by (Inv)MixColumns."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a = _xtime(a)
+    return result
+
+
+class AES:
+    """One expanded key; encrypt/decrypt 16-byte blocks."""
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError("AES key must be 16, 24 or 32 bytes")
+        self.key = bytes(key)
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(self.key)
+
+    # ------------------------------------------------------------------
+    # Key schedule
+    # ------------------------------------------------------------------
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        nk = len(key) // 4
+        words: List[List[int]] = [list(key[4 * i: 4 * i + 4])
+                                  for i in range(nk)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]          # RotWord
+                temp = [SBOX[b] for b in temp]      # SubWord
+                temp[0] ^= RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        # Group into round keys of 16 bytes, column-major state order.
+        round_keys = []
+        for r in range(self.rounds + 1):
+            rk = []
+            for c in range(4):
+                rk.extend(words[4 * r + c])
+            round_keys.append(rk)
+        return round_keys
+
+    # ------------------------------------------------------------------
+    # Round transforms (state is a flat 16-list, column-major)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add_round_key(state: List[int], rk: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # Row r (elements r, r+4, r+8, r+12) rotates left by r.
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            col = state[4 * c: 4 * c + 4]
+            state[4 * c + 0] = (_gmul(col[0], 2) ^ _gmul(col[1], 3)
+                                ^ col[2] ^ col[3])
+            state[4 * c + 1] = (col[0] ^ _gmul(col[1], 2)
+                                ^ _gmul(col[2], 3) ^ col[3])
+            state[4 * c + 2] = (col[0] ^ col[1] ^ _gmul(col[2], 2)
+                                ^ _gmul(col[3], 3))
+            state[4 * c + 3] = (_gmul(col[0], 3) ^ col[1] ^ col[2]
+                                ^ _gmul(col[3], 2))
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            col = state[4 * c: 4 * c + 4]
+            state[4 * c + 0] = (_gmul(col[0], 14) ^ _gmul(col[1], 11)
+                                ^ _gmul(col[2], 13) ^ _gmul(col[3], 9))
+            state[4 * c + 1] = (_gmul(col[0], 9) ^ _gmul(col[1], 14)
+                                ^ _gmul(col[2], 11) ^ _gmul(col[3], 13))
+            state[4 * c + 2] = (_gmul(col[0], 13) ^ _gmul(col[1], 9)
+                                ^ _gmul(col[2], 14) ^ _gmul(col[3], 11))
+            state[4 * c + 3] = (_gmul(col[0], 11) ^ _gmul(col[1], 13)
+                                ^ _gmul(col[2], 9) ^ _gmul(col[3], 14))
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_BYTES:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self.rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_BYTES:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for round_index in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,47 @@
+"""GF(2^128) arithmetic for GHASH (the GCM universal hash).
+
+GHASH operates in GF(2^128) defined by x^128 + x^7 + x^2 + x + 1, with
+the bit-reflected convention of NIST SP 800-38D: bit 0 of a block is the
+coefficient of x^0 and blocks are processed most-significant-bit first.
+"""
+
+from __future__ import annotations
+
+#: The GCM reduction polynomial, as the bit-reversed constant R.
+_R = 0xE1000000000000000000000000000000
+
+
+def block_to_int(block: bytes) -> int:
+    """A 16-byte block as the integer GCM operates on (big-endian)."""
+    if len(block) != 16:
+        raise ValueError("GF(2^128) elements are 16 bytes")
+    return int.from_bytes(block, "big")
+
+
+def int_to_block(value: int) -> bytes:
+    return value.to_bytes(16, "big")
+
+
+def gf_mult(x: int, y: int) -> int:
+    """Multiply two field elements (NIST SP 800-38D algorithm 1)."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def ghash(h: bytes, data: bytes) -> bytes:
+    """GHASH_H over ``data`` (already padded to a 16-byte multiple)."""
+    if len(data) % 16:
+        raise ValueError("GHASH input must be a multiple of 16 bytes")
+    h_int = block_to_int(h)
+    y = 0
+    for offset in range(0, len(data), 16):
+        y = gf_mult(y ^ block_to_int(data[offset:offset + 16]), h_int)
+    return int_to_block(y)

@@ -1,0 +1,159 @@
+"""AES cipher modes: CBC, CTR, and GCM (NIST SP 800-38A / 800-38D).
+
+These are the modes the paper's crypto role implements: AES-GCM-128 (the
+pipelinable mode with Intel's 1.26 cycles/byte Haswell figure) and
+AES-CBC-128-SHA1 (the dependency-laden backward-compatibility mode that
+needs 33-packet interleaving in hardware).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from .aes import AES, BLOCK_BYTES
+from .gf128 import ghash
+from .sha1 import hmac_sha1
+
+
+class AuthenticationError(Exception):
+    """GCM tag or HMAC verification failed."""
+
+
+# ---------------------------------------------------------------------------
+# Padding (PKCS#7) for CBC
+# ---------------------------------------------------------------------------
+def pkcs7_pad(data: bytes, block: int = BLOCK_BYTES) -> bytes:
+    pad = block - (len(data) % block)
+    return data + bytes([pad]) * pad
+
+
+def pkcs7_unpad(data: bytes, block: int = BLOCK_BYTES) -> bytes:
+    if not data or len(data) % block:
+        raise ValueError("invalid padded length")
+    pad = data[-1]
+    if not 1 <= pad <= block or data[-pad:] != bytes([pad]) * pad:
+        raise ValueError("invalid PKCS#7 padding")
+    return data[:-pad]
+
+
+# ---------------------------------------------------------------------------
+# CBC
+# ---------------------------------------------------------------------------
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """AES-CBC encrypt (input padded with PKCS#7)."""
+    if len(iv) != BLOCK_BYTES:
+        raise ValueError("IV must be 16 bytes")
+    cipher = AES(key)
+    data = pkcs7_pad(plaintext)
+    out = bytearray()
+    prev = iv
+    for offset in range(0, len(data), BLOCK_BYTES):
+        block = bytes(a ^ b for a, b in zip(
+            data[offset:offset + BLOCK_BYTES], prev))
+        prev = cipher.encrypt_block(block)
+        out.extend(prev)
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    if len(iv) != BLOCK_BYTES:
+        raise ValueError("IV must be 16 bytes")
+    if len(ciphertext) % BLOCK_BYTES:
+        raise ValueError("ciphertext not a block multiple")
+    cipher = AES(key)
+    out = bytearray()
+    prev = iv
+    for offset in range(0, len(ciphertext), BLOCK_BYTES):
+        block = ciphertext[offset:offset + BLOCK_BYTES]
+        plain = cipher.decrypt_block(block)
+        out.extend(a ^ b for a, b in zip(plain, prev))
+        prev = block
+    return pkcs7_unpad(bytes(out))
+
+
+# ---------------------------------------------------------------------------
+# CTR
+# ---------------------------------------------------------------------------
+def _ctr_keystream(cipher: AES, initial_counter_block: bytes,
+                   nbytes: int) -> bytes:
+    counter = int.from_bytes(initial_counter_block[12:], "big")
+    prefix = initial_counter_block[:12]
+    stream = bytearray()
+    while len(stream) < nbytes:
+        block = prefix + ((counter) & 0xFFFFFFFF).to_bytes(4, "big")
+        stream.extend(cipher.encrypt_block(block))
+        counter += 1
+    return bytes(stream[:nbytes])
+
+
+def ctr_crypt(key: bytes, counter_block: bytes, data: bytes) -> bytes:
+    """AES-CTR: encryption and decryption are the same operation."""
+    cipher = AES(key)
+    stream = _ctr_keystream(cipher, counter_block, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+# ---------------------------------------------------------------------------
+# GCM
+# ---------------------------------------------------------------------------
+def _ghash_input(aad: bytes, ciphertext: bytes) -> bytes:
+    def padded(data: bytes) -> bytes:
+        rem = len(data) % 16
+        return data + (b"\x00" * (16 - rem) if rem else b"")
+
+    lengths = struct.pack(">QQ", len(aad) * 8, len(ciphertext) * 8)
+    return padded(aad) + padded(ciphertext) + lengths
+
+
+def gcm_encrypt(key: bytes, nonce: bytes, plaintext: bytes,
+                aad: bytes = b"") -> Tuple[bytes, bytes]:
+    """AES-GCM encrypt; returns ``(ciphertext, 16-byte tag)``.
+
+    Nonce must be 12 bytes (the standard fast path: J0 = nonce || 1).
+    """
+    if len(nonce) != 12:
+        raise ValueError("GCM nonce must be 12 bytes")
+    cipher = AES(key)
+    h = cipher.encrypt_block(b"\x00" * 16)
+    j0 = nonce + b"\x00\x00\x00\x01"
+    ciphertext = _ctr_keystream(
+        cipher, nonce + b"\x00\x00\x00\x02", len(plaintext))
+    ciphertext = bytes(a ^ b for a, b in zip(plaintext, ciphertext))
+    s = ghash(h, _ghash_input(aad, ciphertext))
+    tag = bytes(a ^ b for a, b in zip(cipher.encrypt_block(j0), s))
+    return ciphertext, tag
+
+
+def gcm_decrypt(key: bytes, nonce: bytes, ciphertext: bytes, tag: bytes,
+                aad: bytes = b"") -> bytes:
+    """AES-GCM decrypt+verify; raises :class:`AuthenticationError`."""
+    if len(nonce) != 12:
+        raise ValueError("GCM nonce must be 12 bytes")
+    cipher = AES(key)
+    h = cipher.encrypt_block(b"\x00" * 16)
+    j0 = nonce + b"\x00\x00\x00\x01"
+    s = ghash(h, _ghash_input(aad, ciphertext))
+    expected = bytes(a ^ b for a, b in zip(cipher.encrypt_block(j0), s))
+    if expected != tag:
+        raise AuthenticationError("GCM tag mismatch")
+    stream = _ctr_keystream(
+        cipher, nonce + b"\x00\x00\x00\x02", len(ciphertext))
+    return bytes(a ^ b for a, b in zip(ciphertext, stream))
+
+
+# ---------------------------------------------------------------------------
+# CBC + HMAC-SHA1 (encrypt-then-MAC composition)
+# ---------------------------------------------------------------------------
+def cbc_hmac_encrypt(enc_key: bytes, mac_key: bytes, iv: bytes,
+                     plaintext: bytes) -> Tuple[bytes, bytes]:
+    """AES-CBC-128-SHA1 composite: returns (ciphertext, 20-byte mac)."""
+    ciphertext = cbc_encrypt(enc_key, iv, plaintext)
+    return ciphertext, hmac_sha1(mac_key, iv + ciphertext)
+
+
+def cbc_hmac_decrypt(enc_key: bytes, mac_key: bytes, iv: bytes,
+                     ciphertext: bytes, mac: bytes) -> bytes:
+    if hmac_sha1(mac_key, iv + ciphertext) != mac:
+        raise AuthenticationError("HMAC-SHA1 mismatch")
+    return cbc_decrypt(enc_key, iv, ciphertext)

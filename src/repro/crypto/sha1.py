@@ -1,0 +1,65 @@
+"""SHA-1 (FIPS 180-4), implemented from scratch.
+
+Required for AES-CBC-128-SHA1, which the paper's crypto role supports
+"for backward compatibility for some software stacks".
+"""
+
+from __future__ import annotations
+
+import struct
+
+DIGEST_BYTES = 20
+BLOCK_BYTES = 64
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+def sha1(message: bytes) -> bytes:
+    """One-shot SHA-1 digest of ``message``."""
+    h0, h1, h2, h3, h4 = _H0
+    length_bits = len(message) * 8
+    message = message + b"\x80"
+    message += b"\x00" * ((56 - len(message) % 64) % 64)
+    message += struct.pack(">Q", length_bits)
+
+    for offset in range(0, len(message), 64):
+        chunk = message[offset:offset + 64]
+        w = list(struct.unpack(">16I", chunk))
+        for i in range(16, 80):
+            w.append(_rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+        a, b, c, d, e = h0, h1, h2, h3, h4
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_rotl(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF
+            e, d, c, b, a = d, c, _rotl(b, 30), a, temp
+        h0 = (h0 + a) & 0xFFFFFFFF
+        h1 = (h1 + b) & 0xFFFFFFFF
+        h2 = (h2 + c) & 0xFFFFFFFF
+        h3 = (h3 + d) & 0xFFFFFFFF
+        h4 = (h4 + e) & 0xFFFFFFFF
+    return struct.pack(">5I", h0, h1, h2, h3, h4)
+
+
+def hmac_sha1(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA1 (RFC 2104)."""
+    if len(key) > BLOCK_BYTES:
+        key = sha1(key)
+    key = key + b"\x00" * (BLOCK_BYTES - len(key))
+    o_key = bytes(b ^ 0x5C for b in key)
+    i_key = bytes(b ^ 0x36 for b in key)
+    return sha1(o_key + sha1(i_key + message))

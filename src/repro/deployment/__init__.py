@@ -1,0 +1,24 @@
+"""Deployment study: the 5,760-server bed and its reliability (§II-B)."""
+
+from .failures import (
+    FLEET_SIZE,
+    OBSERVATION_DAYS,
+    RANKING_SERVERS,
+    DeploymentReport,
+    FailureRates,
+    MirroredTrafficStudy,
+    expected_report,
+)
+from .fleet import BurnInResult, Fleet
+
+__all__ = [
+    "BurnInResult",
+    "DeploymentReport",
+    "FLEET_SIZE",
+    "FailureRates",
+    "Fleet",
+    "MirroredTrafficStudy",
+    "OBSERVATION_DAYS",
+    "RANKING_SERVERS",
+    "expected_report",
+]

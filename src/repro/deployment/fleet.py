@@ -1,0 +1,116 @@
+"""The 5,760-server evaluation bed (paper §II-B).
+
+Builds boards, runs the burn-in protocol (power virus on the FPGA + a
+server burn-in under datacenter environmental conditions), applies the
+bring-up failure draws (PCIe training, DRAM calibration), and reports
+which machines were "approved for production use".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..fpga.board import Board, BoardSpec
+from ..fpga.power import (
+    POWER_VIRUS_UTILIZATION,
+    PowerModel,
+    ThermalConditions,
+)
+from .failures import FLEET_SIZE, RANKING_SERVERS, FailureRates
+
+
+@dataclass
+class BurnInResult:
+    """Outcome of the bring-up protocol for one machine."""
+
+    serial: int
+    power_virus_w: float
+    passed_power: bool
+    pcie_gen3_trained: bool
+    dram_calibrated_first_try: bool
+    dram_repaired_by_reconfig: bool
+
+    @property
+    def approved(self) -> bool:
+        """Approved for production: power envelope + working interfaces.
+
+        DRAM calibration failures were repaired by reconfiguring, and the
+        five PCIe-degraded machines stayed in service (degraded secondary
+        link only), so approval requires only the power envelope.
+        """
+        return self.passed_power
+
+
+class Fleet:
+    """The evaluation bed: boards + bring-up results."""
+
+    def __init__(self, size: int = FLEET_SIZE,
+                 rates: Optional[FailureRates] = None, seed: int = 0,
+                 spec: Optional[BoardSpec] = None):
+        self.size = size
+        self.rates = rates or FailureRates()
+        self.rng = random.Random(seed)
+        self.spec = spec or BoardSpec()
+        self.boards: List[Board] = [
+            Board(serial=i, spec=self.spec) for i in range(size)]
+        self.burn_in_results: List[BurnInResult] = []
+        self.ranking_servers: List[int] = []
+
+    # ------------------------------------------------------------------
+    def run_burn_in(self, power_model: Optional[PowerModel] = None
+                    ) -> List[BurnInResult]:
+        """Stress every machine: power virus in worst-case conditions plus
+        interface bring-up."""
+        model = power_model or PowerModel()
+        conditions = ThermalConditions.worst_case()
+        results = []
+        for board in self.boards:
+            draw = model.power_w(POWER_VIRUS_UTILIZATION, conditions)
+            # Board-to-board process variation: a few percent.
+            draw *= 1.0 + self.rng.gauss(0.0, 0.015)
+            pcie_ok = self.rng.random() >= \
+                self.rates.pcie_training_probability
+            dram_ok = self.rng.random() >= \
+                self.rates.dram_calibration_probability
+            if not pcie_ok:
+                board.health.pcie_training_failures += 1
+            if not dram_ok:
+                board.health.dram_calibration_failures += 1
+            results.append(BurnInResult(
+                serial=board.serial, power_virus_w=draw,
+                passed_power=draw <= board.spec.max_power_w,
+                pcie_gen3_trained=pcie_ok,
+                dram_calibrated_first_try=dram_ok,
+                dram_repaired_by_reconfig=not dram_ok))
+        self.burn_in_results = results
+        return results
+
+    # ------------------------------------------------------------------
+    def deploy_ranking(self, count: int = RANKING_SERVERS) -> List[int]:
+        """Assign ``count`` approved machines to the ranking service; the
+        rest serve "other functions associated with web search"."""
+        if not self.burn_in_results:
+            raise RuntimeError("run burn-in before deployment")
+        approved = [r.serial for r in self.burn_in_results if r.approved]
+        if len(approved) < count:
+            raise RuntimeError(
+                f"only {len(approved)} machines approved; need {count}")
+        self.ranking_servers = approved[:count]
+        return self.ranking_servers
+
+    def summary(self) -> Dict[str, float]:
+        if not self.burn_in_results:
+            raise RuntimeError("run burn-in first")
+        results = self.burn_in_results
+        return {
+            "fleet_size": float(self.size),
+            "approved": float(sum(1 for r in results if r.approved)),
+            "pcie_training_failures": float(
+                sum(1 for r in results if not r.pcie_gen3_trained)),
+            "dram_calibration_failures": float(
+                sum(1 for r in results if not r.dram_calibrated_first_try)),
+            "max_power_virus_w": max(r.power_virus_w for r in results),
+            "ranking_servers": float(len(self.ranking_servers)),
+        }

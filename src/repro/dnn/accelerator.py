@@ -1,0 +1,74 @@
+"""DNN accelerator role: timing model over the MLP substrate.
+
+A latency-sensitive inference accelerator occupying the role region:
+requests are served serially from a work queue, with service time
+= pipeline overhead + MAdds / (array throughput).  Defaults give a
+~1.2 ms inference, the scale at which the paper's Fig. 12 latency
+categories live.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .mlp import Mlp
+
+
+@dataclass
+class DnnAcceleratorConfig:
+    """Hardware parameters of the DNN role."""
+
+    clock_hz: float = 175e6
+    #: MAdds retired per cycle by the systolic array.
+    madds_per_cycle: int = 4096
+    #: Fixed per-request overhead: DMA descriptor, weight prefetch, drain.
+    per_request_overhead: float = 60e-6
+    #: Service-time dispersion (weight reuse, layer shapes, padding).
+    service_sigma: float = 0.12
+
+
+class DnnAccelerator:
+    """One FPGA's DNN role (timing + optional functional model)."""
+
+    def __init__(self, config: Optional[DnnAcceleratorConfig] = None,
+                 model: Optional[Mlp] = None,
+                 madds_per_inference: Optional[int] = None):
+        self.config = config or DnnAcceleratorConfig()
+        self.model = model
+        if madds_per_inference is None:
+            if model is not None:
+                madds_per_inference = model.madds_per_inference
+            else:
+                # Default workload: ~800 MMAdds per request (a mid-size
+                # fully-connected stack with batching).
+                madds_per_inference = 800_000_000
+        self.madds_per_inference = madds_per_inference
+
+    @property
+    def mean_service_time(self) -> float:
+        cfg = self.config
+        compute = self.madds_per_inference / (
+            cfg.madds_per_cycle * cfg.clock_hz)
+        return cfg.per_request_overhead + compute
+
+    def sample_service_time(self, rng: random.Random) -> float:
+        """Draw one request's service time (lognormal dispersion)."""
+        mean = self.mean_service_time
+        sigma = self.config.service_sigma
+        # Lognormal with the configured mean: mu = ln(mean) - sigma^2/2.
+        mu = math.log(mean) - sigma * sigma / 2.0
+        return rng.lognormvariate(mu, sigma)
+
+    @property
+    def capacity_rps(self) -> float:
+        """Sustained requests/second of one accelerator."""
+        return 1.0 / self.mean_service_time
+
+    def infer(self, x):
+        """Run a real inference when a functional model is attached."""
+        if self.model is None:
+            raise RuntimeError("no functional MLP attached to this role")
+        return self.model.forward(x)

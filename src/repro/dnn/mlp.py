@@ -1,0 +1,131 @@
+"""A small multi-layer perceptron, from scratch on numpy.
+
+The functional substrate behind the pooled "latency-sensitive Deep Neural
+Network accelerators" of §V-E.  Forward pass, ReLU/softmax, and
+minibatch SGD training with hand-written backprop — enough to verify the
+accelerator role computes real inferences and that its outputs match a
+reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class Mlp:
+    """Fully-connected ReLU network with a softmax head."""
+
+    def __init__(self, layer_sizes: Sequence[int], seed: int = 0):
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output layers")
+        self.layer_sizes = list(layer_sizes)
+        rng = np.random.default_rng(seed)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(
+                rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(w.size + b.size
+                   for w, b in zip(self.weights, self.biases))
+
+    @property
+    def madds_per_inference(self) -> int:
+        """Multiply-accumulates for one forward pass (batch size 1)."""
+        return sum(w.size for w in self.weights)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray,
+                keep_activations: bool = False):
+        """Forward pass; optionally return intermediate activations."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        activations = [x]
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            x = x @ w + b
+            if i < self.num_layers - 1:
+                x = relu(x)
+            activations.append(x)
+        probs = softmax(x)
+        if keep_activations:
+            return probs, activations
+        return probs
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(x), axis=-1)
+
+    # ------------------------------------------------------------------
+    def train_step(self, x: np.ndarray, labels: np.ndarray,
+                   learning_rate: float = 0.05) -> float:
+        """One SGD step on cross-entropy; returns the batch loss."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        labels = np.asarray(labels, dtype=int)
+        probs, activations = self.forward(x, keep_activations=True)
+        batch = x.shape[0]
+        loss = float(-np.mean(np.log(
+            probs[np.arange(batch), labels] + 1e-12)))
+
+        grad = probs.copy()
+        grad[np.arange(batch), labels] -= 1.0
+        grad /= batch
+        for i in range(self.num_layers - 1, -1, -1):
+            a_in = activations[i]
+            grad_w = a_in.T @ grad
+            grad_b = grad.sum(axis=0)
+            if i > 0:
+                grad = (grad @ self.weights[i].T) * \
+                    (activations[i] > 0)
+            self.weights[i] -= learning_rate * grad_w
+            self.biases[i] -= learning_rate * grad_b
+        return loss
+
+    def fit(self, x: np.ndarray, labels: np.ndarray, epochs: int = 30,
+            batch_size: int = 32, learning_rate: float = 0.05,
+            seed: int = 0) -> List[float]:
+        """Minibatch SGD; returns per-epoch mean losses."""
+        x = np.asarray(x, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        rng = np.random.default_rng(seed)
+        losses = []
+        n = x.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_losses = []
+            for start in range(0, n, batch_size):
+                idx = order[start:start + batch_size]
+                epoch_losses.append(
+                    self.train_step(x[idx], labels[idx], learning_rate))
+            losses.append(float(np.mean(epoch_losses)))
+        return losses
+
+
+def synthetic_classification(num_samples: int, num_features: int = 16,
+                             num_classes: int = 4, seed: int = 0
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+    """Linearly-separable-ish blobs for training/verifying the MLP."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 2.5, size=(num_classes, num_features))
+    labels = rng.integers(0, num_classes, size=num_samples)
+    x = centers[labels] + rng.normal(0.0, 1.0,
+                                     size=(num_samples, num_features))
+    return x, labels

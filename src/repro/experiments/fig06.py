@@ -1,0 +1,66 @@
+"""E2 — Fig. 6: 99th-percentile latency vs throughput, single server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..ranking.service import (
+    AccelerationMode,
+    RankingServiceConfig,
+    run_open_loop,
+    saturation_qps,
+)
+
+DEFAULT_LOAD_POINTS = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0,
+                       2.25, 2.5)
+
+
+@dataclass
+class Fig6Result:
+    """Normalized latency-vs-throughput curves per mode."""
+
+    #: mode name -> [(normalized load, normalized p99 latency)].
+    curves: Dict[str, List[Tuple[float, float]]]
+    #: absolute latency target (seconds) used for normalization.
+    latency_target: float
+    #: absolute qps corresponding to normalized load 1.0.
+    base_qps: float
+
+    def max_load_under_target(self, mode: str,
+                              threshold: float = 1.0) -> float:
+        ok = [load for load, p99 in self.curves[mode]
+              if p99 <= threshold]
+        return max(ok) if ok else 0.0
+
+    @property
+    def throughput_gain(self) -> float:
+        """The Fig. 6 headline: FPGA/software load at the target."""
+        return self.max_load_under_target("fpga") / \
+            self.max_load_under_target("software")
+
+
+def run(load_points=DEFAULT_LOAD_POINTS, queries: int = 1500,
+        seed: int = 0) -> Fig6Result:
+    """Sweep software and local-FPGA modes over normalized loads."""
+    software = RankingServiceConfig(mode=AccelerationMode.SOFTWARE)
+    fpga = RankingServiceConfig(mode=AccelerationMode.LOCAL_FPGA)
+
+    base_qps = 0.9 * saturation_qps(software)
+    reference = run_open_loop(software, base_qps, num_queries=2 * queries,
+                              seed=seed)
+    target = reference.latency.p99
+
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for name, config in (("software", software), ("fpga", fpga)):
+        points = []
+        for load in load_points:
+            if name == "software" and load > 1.6:
+                continue  # deep saturation: nothing more to learn
+            result = run_open_loop(config, load * base_qps,
+                                   num_queries=queries,
+                                   seed=int(load * 100))
+            points.append((load, result.latency.p99 / target))
+        curves[name] = points
+    return Fig6Result(curves=curves, latency_target=target,
+                      base_qps=base_qps)

@@ -1,0 +1,87 @@
+"""E6 — Fig. 10: LTL round-trip latency vs reachable hosts.
+
+Canonical implementation used by ``benchmarks/bench_fig10_ltl_latency``
+and importable directly::
+
+    from repro.experiments import fig10
+    result = fig10.run()
+    print(result.rows())
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.cloud import ConfigurableCloud
+from ..sim.randomness import percentile
+from ..torus import TorusLatencyModel, TorusTopology
+
+#: (tier -> (reachable hosts, sender/receiver pairs measured)).
+DEFAULT_TIER_PAIRS: Dict[str, Tuple[int, List[Tuple[int, int]]]] = {
+    "L0": (24, [(0, 1), (2, 3), (4, 5), (6, 7)]),
+    "L1": (960, [(8, 30), (9, 200), (10, 500), (11, 900)]),
+    "L2": (250_000, [(12, 5_000), (13, 50_000), (14, 120_000),
+                     (15, 200_000), (16, 250_000), (17, 99_000)]),
+}
+
+
+@dataclass
+class TierStats:
+    """Latency summary for one tier (seconds)."""
+
+    reachable: int
+    avg: float
+    p999: float
+    max: float
+    samples: List[float] = field(repr=False, default_factory=list)
+
+
+@dataclass
+class Fig10Result:
+    """All tiers plus the torus baseline."""
+
+    tiers: Dict[str, TierStats]
+    torus: TierStats
+
+    def rows(self) -> List[Tuple[str, str, float, float, float]]:
+        out = []
+        for name, stats in self.tiers.items():
+            out.append((name, f"{stats.reachable:,}", stats.avg * 1e6,
+                        stats.p999 * 1e6, stats.max * 1e6))
+        out.append(("torus", "48", self.torus.avg * 1e6,
+                    self.torus.p999 * 1e6, self.torus.max * 1e6))
+        return out
+
+
+def run(tier_pairs: Dict[str, Tuple[int, List[Tuple[int, int]]]]
+        = None, messages_per_pair: int = 60, seed: int = 10
+        ) -> Fig10Result:
+    """Measure idle LTL RTT per tier plus the torus baseline."""
+    tier_pairs = tier_pairs or DEFAULT_TIER_PAIRS
+    cloud = ConfigurableCloud(seed=seed)
+    tiers: Dict[str, TierStats] = {}
+    for tier, (reachable, pairs) in tier_pairs.items():
+        samples: List[float] = []
+        for src, dst in pairs:
+            for host in (src, dst):
+                if host not in cloud.servers:
+                    cloud.add_server(host, enroll=False)
+            samples.extend(cloud.measure_ltl_rtt(
+                src, dst, messages=messages_per_pair))
+        samples.sort()
+        tiers[tier] = TierStats(
+            reachable=reachable, avg=statistics.mean(samples),
+            p999=percentile(samples, 99.9), max=max(samples),
+            samples=samples)
+
+    torus_model = TorusLatencyModel(TorusTopology())
+    torus_samples = sorted(
+        torus_model.all_pair_round_trips(random.Random(seed)))
+    torus = TierStats(
+        reachable=48, avg=statistics.mean(torus_samples),
+        p999=percentile(torus_samples, 99.9), max=max(torus_samples),
+        samples=torus_samples)
+    return Fig10Result(tiers=tiers, torus=torus)

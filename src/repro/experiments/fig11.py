@@ -1,0 +1,59 @@
+"""E7 — Fig. 11: software vs local FPGA vs remote FPGA ranking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..ranking.service import (
+    AccelerationMode,
+    RankingServiceConfig,
+    run_open_loop,
+    saturation_qps,
+)
+
+DEFAULT_LOAD_POINTS = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0)
+
+
+@dataclass
+class Fig11Result:
+    """Normalized p99.9 latency-vs-throughput curves per mode."""
+
+    curves: Dict[str, List[Tuple[float, float]]]
+    latency_target: float
+    base_qps: float
+
+    def mean_remote_overhead(self) -> float:
+        """Mean remote/local latency ratio minus one, across loads."""
+        local = dict(self.curves["local"])
+        remote = dict(self.curves["remote"])
+        shared = [load for load in local if load in remote]
+        return sum(remote[load] / local[load] - 1
+                   for load in shared) / len(shared)
+
+
+def run(load_points=DEFAULT_LOAD_POINTS, queries: int = 1200,
+        seed: int = 0) -> Fig11Result:
+    configs = {
+        "software": RankingServiceConfig(mode=AccelerationMode.SOFTWARE),
+        "local": RankingServiceConfig(mode=AccelerationMode.LOCAL_FPGA),
+        "remote": RankingServiceConfig(mode=AccelerationMode.REMOTE_FPGA),
+    }
+    base_qps = 0.9 * saturation_qps(configs["software"])
+    reference = run_open_loop(configs["software"], base_qps,
+                              num_queries=2 * queries, seed=seed)
+    target = reference.latency.p999
+
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for name, config in configs.items():
+        points = []
+        for load in load_points:
+            if name == "software" and load > 1.1:
+                continue
+            result = run_open_loop(config, load * base_qps,
+                                   num_queries=queries,
+                                   seed=int(load * 1000))
+            points.append((load, result.latency.p999 / target))
+        curves[name] = points
+    return Fig11Result(curves=curves, latency_target=target,
+                       base_qps=base_qps)

@@ -1,0 +1,57 @@
+"""E8 — Fig. 12: remote DNN pool latency vs oversubscription."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..dnn.pool import (
+    OversubscriptionResult,
+    RemoteNetworkModel,
+    run_oversubscription_point,
+)
+
+#: (clients, fpgas) pairs for the Fig. 12 x-axis (0.5 .. 3.0).
+DEFAULT_SWEEP: List[Tuple[int, int]] = [
+    (6, 12), (12, 12), (12, 8), (12, 6), (12, 5), (12, 4)]
+
+
+@dataclass
+class Fig12Result:
+    """Local baseline plus the remote oversubscription sweep."""
+
+    local: OversubscriptionResult
+    points: List[OversubscriptionResult]
+
+    def at_ratio(self, ratio: float,
+                 tolerance: float = 1e-6) -> OversubscriptionResult:
+        for point in self.points:
+            if abs(point.oversubscription - ratio) < tolerance:
+                return point
+        raise KeyError(f"no sweep point at ratio {ratio}")
+
+    def one_to_one_overheads(self) -> Tuple[float, float, float]:
+        """Remote-vs-local (avg, p95, p99) overhead fractions at 1:1."""
+        remote = self.at_ratio(1.0).latency
+        local = self.local.latency
+        return (remote.mean / local.mean - 1,
+                remote.p95 / local.p95 - 1,
+                remote.p99 / local.p99 - 1)
+
+
+def run(sweep: Optional[List[Tuple[int, int]]] = None,
+        requests_per_client: int = 350,
+        remote: Optional[RemoteNetworkModel] = None,
+        seed: int = 1) -> Fig12Result:
+    """The oversubscription study: shrink the pool under fixed clients."""
+    sweep = sweep or DEFAULT_SWEEP
+    remote = remote or RemoteNetworkModel()
+    local = run_oversubscription_point(
+        12, 12, remote=None, requests_per_client=requests_per_client,
+        seed=seed)
+    points = [
+        run_oversubscription_point(
+            clients, fpgas, remote=remote,
+            requests_per_client=requests_per_client, seed=seed + 1 + i)
+        for i, (clients, fpgas) in enumerate(sweep)]
+    return Fig12Result(local=local, points=points)

@@ -1,0 +1,44 @@
+"""E5 — §IV: crypto cost model rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..crypto.engine import FpgaCryptoEngine
+from ..crypto.swmodel import SoftwareCryptoModel
+
+DEFAULT_SUITES = ("aes-gcm-128", "aes-gcm-256", "aes-cbc-128",
+                  "aes-cbc-128-sha1")
+
+
+@dataclass
+class CryptoRow:
+    """One cipher suite's §IV numbers."""
+
+    suite: str
+    cores_full_duplex: float
+    sw_latency_1500B: float
+    fpga_latency_1500B: float
+    fpga_throughput_bps: float
+
+
+def run(suites=DEFAULT_SUITES,
+        software: SoftwareCryptoModel | None = None,
+        engine: FpgaCryptoEngine | None = None) -> List[CryptoRow]:
+    """Regenerate the §IV cost table."""
+    software = software or SoftwareCryptoModel()
+    engine = engine or FpgaCryptoEngine()
+    rows = []
+    for suite in suites:
+        rows.append(CryptoRow(
+            suite=suite,
+            cores_full_duplex=software.cores_for_line_rate(suite),
+            sw_latency_1500B=software.packet_latency(suite, 1500),
+            fpga_latency_1500B=engine.latency(suite, 1500),
+            fpga_throughput_bps=engine.throughput_bps(suite)))
+    return rows
+
+
+def by_suite(rows: List[CryptoRow]) -> Dict[str, CryptoRow]:
+    return {row.suite: row for row in rows}

@@ -1,0 +1,94 @@
+"""DDR3-1600 memory controller model with ECC.
+
+One 4 GB channel, 72-bit bus (64 data + 8 ECC), 12.8 GB/s peak.  The
+deployment study (§II-B) found eight DRAM calibration failures that were
+"repaired by reconfiguring the FPGA" and later "traced to a logical error
+in the DRAM interface rather than a hard failure" — the model exposes
+calibration as an explicit step that can fail and be retried.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Environment, Resource
+from .board import BoardSpec
+
+
+@dataclass
+class DdrConfig:
+    """Controller timing (CAS-ish aggregate latencies, not per-command)."""
+
+    #: Closed-page random access latency seen by a role.
+    access_latency: float = 0.12e-6
+    #: Controller efficiency vs peak bandwidth for streaming access.
+    streaming_efficiency: float = 0.83
+    #: Probability one calibration attempt fails (the §II-B logic bug).
+    calibration_failure_probability: float = 8.0 / 5760.0
+    #: Time to run DRAM interface calibration at configuration load.
+    calibration_time: float = 0.5
+    #: Outstanding requests the controller pipelines.
+    max_outstanding: int = 32
+
+
+class DdrController:
+    """The shell's DDR3 controller, one per board."""
+
+    def __init__(self, env: Environment, spec: Optional[BoardSpec] = None,
+                 config: Optional[DdrConfig] = None,
+                 rng: Optional[random.Random] = None):
+        self.env = env
+        self.spec = spec or BoardSpec()
+        self.config = config or DdrConfig()
+        self.rng = rng or random.Random(0)
+        self._channel = Resource(env, capacity=self.config.max_outstanding)
+        self.calibrated = False
+        self.calibration_attempts = 0
+        self.calibration_failures = 0
+        self.reads = 0
+        self.writes = 0
+        self.bytes_moved = 0
+        self.ecc_corrections = 0
+
+    @property
+    def effective_bandwidth_bytes(self) -> float:
+        return (self.spec.dram_peak_bandwidth_bytes
+                * self.config.streaming_efficiency)
+
+    def calibrate(self):
+        """Process: run interface calibration; may fail (retry by
+        reconfiguring, exactly as operations did in §II-B)."""
+        self.calibration_attempts += 1
+        yield self.env.timeout(self.config.calibration_time)
+        if self.rng.random() < self.config.calibration_failure_probability:
+            self.calibration_failures += 1
+            self.calibrated = False
+        else:
+            self.calibrated = True
+        return self.calibrated
+
+    def _access_time(self, nbytes: int) -> float:
+        return self.config.access_latency + \
+            nbytes / self.effective_bandwidth_bytes
+
+    def read(self, nbytes: int):
+        """Process: one read burst of ``nbytes``."""
+        if not self.calibrated:
+            raise RuntimeError("DRAM access before successful calibration")
+        with self._channel.request() as slot:
+            yield slot
+            yield self.env.timeout(self._access_time(nbytes))
+        self.reads += 1
+        self.bytes_moved += nbytes
+
+    def write(self, nbytes: int):
+        """Process: one write burst of ``nbytes``."""
+        if not self.calibrated:
+            raise RuntimeError("DRAM access before successful calibration")
+        with self._channel.request() as slot:
+            yield slot
+            yield self.env.timeout(self._access_time(nbytes))
+        self.writes += 1
+        self.bytes_moved += nbytes

@@ -1,0 +1,67 @@
+"""PCIe Gen3 x8 DMA engine model.
+
+The board exposes "two independent PCIe Gen 3 x8 connections for an
+aggregate total of 16 GB/s in each direction between the CPU and FPGA."
+Keeping the FPGA's PCIe independent of the NIC's "allows each to operate
+independently at maximum bandwidth when the FPGA is being used strictly
+as a local compute accelerator."
+
+The DMA engine models transfer latency = setup + payload/bandwidth, with
+a bounded number of in-flight transfers per link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Environment, Resource
+from .board import BoardSpec
+
+
+@dataclass
+class PcieConfig:
+    """Timing/efficiency parameters of one DMA link."""
+
+    #: Software+hardware setup cost per DMA transfer (doorbell, descriptor
+    #: fetch, completion interrupt amortization).
+    setup_latency: float = 0.9e-6
+    #: Protocol efficiency on top of the 128b/130b line rate (TLP headers,
+    #: flow-control DLLPs): ~87% payload efficiency for 256 B MPS.
+    protocol_efficiency: float = 0.87
+    #: Simultaneous outstanding DMA transfers per link.
+    max_outstanding: int = 16
+
+
+class PcieDmaEngine:
+    """One of the board's two independent Gen3 x8 DMA connections."""
+
+    def __init__(self, env: Environment, spec: Optional[BoardSpec] = None,
+                 config: Optional[PcieConfig] = None, name: str = "pcie0"):
+        self.env = env
+        self.spec = spec or BoardSpec()
+        self.config = config or PcieConfig()
+        self.name = name
+        self._channel = Resource(env, capacity=self.config.max_outstanding)
+        self.transfers = 0
+        self.bytes_moved = 0
+
+    @property
+    def effective_bandwidth_bytes(self) -> float:
+        return (self.spec.pcie_bandwidth_per_link_bytes
+                * self.config.protocol_efficiency)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Latency of one DMA of ``nbytes`` (excluding queueing)."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return self.config.setup_latency + \
+            nbytes / self.effective_bandwidth_bytes
+
+    def dma(self, nbytes: int):
+        """Process: perform one transfer (host->FPGA or FPGA->host)."""
+        with self._channel.request() as slot:
+            yield slot
+            yield self.env.timeout(self.transfer_time(nbytes))
+        self.transfers += 1
+        self.bytes_moved += nbytes

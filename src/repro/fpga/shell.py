@@ -1,0 +1,320 @@
+"""The Shell: everything on the FPGA that is not the role (paper Fig. 4).
+
+One :class:`Shell` per server wires together:
+
+* the NIC<->TOR **bridge** with its role tap (bump-in-the-wire),
+* two 40G **MAC/PHY** models (fixed pipeline latencies),
+* the **Elastic Router** with the paper's example 4-port single-role
+  configuration: PCIe DMA, Role, DRAM, Remote (LTL),
+* the **LTL protocol engine**, whose transport encapsulates frames in
+  UDP/IPv4 on the lossless traffic class and injects them at the
+  TOR-facing port,
+* the **PCIe DMA** engines and **DDR3 controller**,
+* the **configuration manager** (golden image, reconfig) and the
+  **SEU scrubber**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..ltl.engine import LtlConfig, LtlEngine, connect_pair
+from ..ltl.frames import LTL_UDP_PORT, LtlFrame
+from ..net.fabric import Attachment, DatacenterFabric
+from ..net.packet import Packet, TrafficClass
+from ..router.elastic_router import ElasticRouter
+from ..sim import Environment, RandomStreams
+from .board import Board
+from .bridge import Bridge
+from .ddr import DdrController
+from .pcie import PcieDmaEngine
+from .reconfig import ConfigurationManager, Image
+from .seu import SeuScrubber
+
+# Elastic Router port map for the example single-role deployment (§V-B):
+# "the ER is instantiated with 4 ports: (1) PCIe DMA, (2) Role, (3) DRAM,
+# and (4) Remote (to LTL)".  Fig. 4 shows "Role x N": additional roles
+# occupy ports 4, 5, ... (see :meth:`Shell.role_port`).
+ER_PORT_DMA = 0
+ER_PORT_ROLE = 1
+ER_PORT_DRAM = 2
+ER_PORT_REMOTE = 3
+
+
+@dataclass
+class ShellConfig:
+    """Shell build options."""
+
+    #: 40G MAC+PHY pipeline latencies, one traversal.
+    mac_tx_latency: float = 0.18e-6
+    mac_rx_latency: float = 0.18e-6
+    #: Deploy the LTL block?  "Services using only their single local FPGA
+    #: can choose to deploy a shell version without the LTL block."
+    with_ltl: bool = True
+    ltl: LtlConfig = field(default_factory=LtlConfig)
+    #: Traffic class LTL frames ride on.  Production uses the lossless
+    #: (PFC-protected) class; the A2 ablation compares best-effort.
+    ltl_traffic_class: int = TrafficClass.LOSSLESS
+    #: Number of role slots on the ER ("Role x N" in Fig. 4).
+    num_roles: int = 1
+    #: Elastic Router sizing.
+    er_num_vcs: int = 2
+    er_credits_per_port: int = 16
+    er_credit_policy: str = "elastic"
+    #: Enable the SEU injection/scrubbing model (off by default: most
+    #: experiments run for simulated milliseconds where SEUs are noise).
+    enable_seu: bool = False
+
+
+@dataclass
+class RemoteEnvelope:
+    """ER message bound for another FPGA through the Remote (LTL) port."""
+
+    dst_host: int
+    payload: Any
+    #: Role slot addressed on the destination FPGA.
+    dst_role: int = 0
+
+
+@dataclass
+class RemoteMessage:
+    """What actually rides the LTL connection between two shells."""
+
+    dst_role: int
+    payload: Any
+
+
+class FabricLtlTransport:
+    """LTL transport over the shell's TOR-facing 40G MAC + the fabric."""
+
+    def __init__(self, shell: "Shell"):
+        self.shell = shell
+
+    def send_frame(self, dst_host: int, frame: LtlFrame) -> None:
+        shell = self.shell
+
+        def _tx():
+            yield shell.env.timeout(shell.config.mac_tx_latency)
+            packet = shell.attachment.make_packet(
+                dst_index=dst_host, payload=frame,
+                payload_bytes=frame.wire_bytes,
+                src_port=LTL_UDP_PORT, dst_port=LTL_UDP_PORT,
+                traffic_class=shell.config.ltl_traffic_class)
+            shell.bridge.inject_to_tor(packet)
+
+        shell.env.process(_tx(), name=f"ltl-tx-{shell.host_index}")
+
+
+class Shell:
+    """One FPGA board's shell instance, attached to the fabric."""
+
+    def __init__(self, env: Environment, host_index: int,
+                 fabric: DatacenterFabric,
+                 config: Optional[ShellConfig] = None,
+                 streams: Optional[RandomStreams] = None,
+                 image: Optional[Image] = None):
+        self.env = env
+        self.host_index = host_index
+        self.fabric = fabric
+        self.config = config or ShellConfig()
+        streams = streams or RandomStreams(seed=host_index)
+        self.board = Board(serial=host_index)
+
+        # Configuration + health.
+        self.configuration = ConfigurationManager(env, application_image=image)
+        self.configuration.on_link_change = self._on_link_change
+        self.scrubber: Optional[SeuScrubber] = None
+        if self.config.enable_seu:
+            self.scrubber = SeuScrubber(
+                env, rng=streams.stream("seu"))
+
+        # Bridge between NIC and TOR (the bump in the wire).
+        self.bridge = Bridge(env)
+        self.bridge.deliver_to_tor = self._mac_to_tor
+        self.bridge.deliver_to_nic = self._deliver_to_host_nic
+
+        # Network attachment (TOR-facing QSFP).
+        self.attachment: Attachment = fabric.attach(
+            host_index, self._receive_from_tor)
+
+        # Host NIC delivery callback, set by the owning server.
+        self.nic_receive: Optional[Callable[[Packet], None]] = None
+
+        # On-chip interconnect: 4 base ports + one per additional role.
+        if self.config.num_roles < 1:
+            raise ValueError("shell needs at least one role slot")
+        num_ports = 4 + (self.config.num_roles - 1)
+        self.er = ElasticRouter(
+            env, name=f"er-{host_index}", num_ports=num_ports,
+            num_vcs=self.config.er_num_vcs,
+            credits_per_port=self.config.er_credits_per_port,
+            credit_policy=self.config.er_credit_policy)
+        self.er.set_endpoint(ER_PORT_REMOTE, self._er_remote_out)
+
+        # LTL engine + connection cache.
+        self.ltl: Optional[LtlEngine] = None
+        if self.config.with_ltl:
+            self.ltl = LtlEngine(env, host_index, config=self.config.ltl,
+                                 name=f"ltl-{host_index}")
+            self.ltl.transport = FabricLtlTransport(self)
+            self.ltl.on_message = self._ltl_message_in
+            self.ltl.on_connection_failed = self._remote_failed
+        self._send_conns: Dict[int, int] = {}  # dst host -> send conn id
+        #: Called with the remote host index when LTL declares it failed
+        #: ("timeouts can also be used to identify failing nodes quickly,
+        #: if ultra-fast reprovisioning of a replacement is critical") —
+        #: HaaS service managers hook this to trigger replacement.
+        self.on_remote_failure: Optional[Callable[[int], None]] = None
+
+        # Board subsystems.
+        self.pcie = [PcieDmaEngine(env, self.board.spec, name=f"pcie{i}")
+                     for i in range(self.board.spec.pcie_links)]
+        self.ddr = DdrController(env, self.board.spec,
+                                 rng=streams.stream("ddr"))
+        self.ddr.calibrated = True  # calibration modeled in deployment study
+
+        #: Role message handler (role 0): called with
+        #: (payload, length_bytes).  Additional roles register through
+        #: :meth:`set_role_handler`.
+        self.role_receive: Optional[Callable[[Any, int], None]] = None
+        self._role_handlers: Dict[int, Callable[[Any, int], None]] = {}
+        for role in range(self.config.num_roles):
+            self.er.set_endpoint(
+                self.role_port(role),
+                lambda msg, r=role: self._role_in(
+                    r, msg.payload, msg.length_bytes))
+
+    # ------------------------------------------------------------------
+    # Link management
+    # ------------------------------------------------------------------
+    def _on_link_change(self, up: bool) -> None:
+        self.bridge.link_up = up
+
+    # ------------------------------------------------------------------
+    # TOR-side datapath
+    # ------------------------------------------------------------------
+    def _receive_from_tor(self, packet: Packet) -> None:
+        """All traffic from the TOR lands here (it is a bump in the wire)."""
+        self.env.process(self._rx_pipeline(packet),
+                         name=f"shell-rx-{self.host_index}")
+
+    def _rx_pipeline(self, packet: Packet):
+        yield self.env.timeout(self.config.mac_rx_latency)
+        if self._is_local_ltl(packet):
+            if self.ltl is not None:
+                self.ltl.receive_frame(packet.payload,
+                                       ecn_marked=packet.ecn_marked)
+            return
+        self.bridge.from_tor(packet)
+
+    def _is_local_ltl(self, packet: Packet) -> bool:
+        return (packet.udp is not None
+                and packet.udp.dst_port == LTL_UDP_PORT
+                and isinstance(packet.payload, LtlFrame)
+                and packet.eth.dst_mac == self.attachment.mac)
+
+    def _mac_to_tor(self, packet: Packet) -> None:
+        """Bridge/injection output toward the TOR port."""
+
+        def _tx():
+            yield self.env.timeout(self.config.mac_tx_latency)
+            self.attachment.send(packet)
+
+        self.env.process(_tx(), name=f"shell-tx-{self.host_index}")
+
+    # ------------------------------------------------------------------
+    # NIC-side datapath
+    # ------------------------------------------------------------------
+    def send_from_nic(self, packet: Packet) -> None:
+        """The host NIC transmits: packet enters the FPGA's NIC port."""
+        self.bridge.from_nic(packet)
+
+    def _deliver_to_host_nic(self, packet: Packet) -> None:
+        if self.nic_receive is not None:
+            self.nic_receive(packet)
+
+    # ------------------------------------------------------------------
+    # Remote (LTL) port of the Elastic Router
+    # ------------------------------------------------------------------
+    def connect_to(self, other: "Shell", vc: int = 0) -> None:
+        """Establish a persistent LTL connection pair with ``other``."""
+        if self.ltl is None or other.ltl is None:
+            raise RuntimeError("both shells need the LTL block "
+                               "(ShellConfig.with_ltl)")
+        if other.host_index in self._send_conns:
+            return
+        conn_here, conn_there = connect_pair(self.ltl, other.ltl, vc=vc)
+        self._send_conns[other.host_index] = conn_here
+        other._send_conns[self.host_index] = conn_there
+
+    def role_port(self, role: int = 0) -> int:
+        """ER port of role slot ``role`` (role 0 is the classic port 1)."""
+        if not 0 <= role < self.config.num_roles:
+            raise ValueError(f"role {role} out of range "
+                             f"(num_roles={self.config.num_roles})")
+        return ER_PORT_ROLE if role == 0 else 3 + role
+
+    def set_role_handler(self, role: int,
+                         handler: Callable[[Any, int], None]) -> None:
+        """Register the consumer for role slot ``role``."""
+        self.role_port(role)  # range check
+        self._role_handlers[role] = handler
+
+    def remote_send(self, dst_host: int, payload: Any,
+                    length_bytes: int, dst_role: int = 0,
+                    src_role: int = 0) -> None:
+        """Role-level API: send a message to a role on another FPGA.
+
+        (Short-hand for pushing a :class:`RemoteEnvelope` through the ER's
+        Remote port.)
+        """
+        event = self.er.send(
+            self.role_port(src_role), ER_PORT_REMOTE,
+            RemoteEnvelope(dst_host, payload, dst_role=dst_role),
+            length_bytes)
+        event._defused = True
+
+    def _er_remote_out(self, message) -> None:
+        """ER delivered a message at the Remote port: hand it to LTL."""
+        envelope: RemoteEnvelope = message.payload
+        if self.ltl is None:
+            raise RuntimeError("remote message on a shell without LTL")
+        conn = self._send_conns.get(envelope.dst_host)
+        if conn is None:
+            raise RuntimeError(
+                f"no LTL connection from {self.host_index} to "
+                f"{envelope.dst_host}; call connect_to() first")
+        self.ltl.send_message(
+            conn, RemoteMessage(envelope.dst_role, envelope.payload),
+            message.length_bytes)
+
+    def _ltl_message_in(self, _conn_id: int, payload: Any,
+                        length_bytes: int) -> None:
+        """LTL delivered a message: route it to its role through the ER."""
+        if isinstance(payload, RemoteMessage):
+            dst_role, inner = payload.dst_role, payload.payload
+        else:
+            dst_role, inner = 0, payload
+        event = self.er.send(ER_PORT_REMOTE, self.role_port(dst_role),
+                             inner, length_bytes)
+        event._defused = True
+
+    def _role_in(self, role: int, payload: Any,
+                 length_bytes: int) -> None:
+        if self.scrubber is not None and self.scrubber.role_hung:
+            # An SEU wedged the role region: messages go unanswered
+            # until the ~30 s scrub pass recovers it (§II-B).  Senders'
+            # LTL retransmissions mask short hangs.
+            return
+        handler = self._role_handlers.get(role)
+        if handler is not None:
+            handler(payload, length_bytes)
+        elif role == 0 and self.role_receive is not None:
+            self.role_receive(payload, length_bytes)
+
+    def _remote_failed(self, _connection_id: int, remote_host: int) -> None:
+        # Drop the cached connection so a later reprovision can rebuild.
+        self._send_conns.pop(remote_host, None)
+        if self.on_remote_failure is not None:
+            self.on_remote_failure(remote_host)

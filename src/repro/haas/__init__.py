@@ -1,0 +1,30 @@
+"""Hardware-as-a-Service: RM / SM / FM control plane (paper §V-F)."""
+
+from .constraints import Constraints, Locality, group_key, select_hosts
+from .fpga_manager import FpgaHealth, FpgaManager, FpgaStatus
+from .leases import Lease, LeaseState
+from .resource_manager import (
+    DEFAULT_LEASE_SECONDS,
+    AllocationError,
+    ResourceManager,
+    RmStats,
+)
+from .service_manager import ServiceManager, SmStats
+
+__all__ = [
+    "AllocationError",
+    "Constraints",
+    "DEFAULT_LEASE_SECONDS",
+    "FpgaHealth",
+    "FpgaManager",
+    "FpgaStatus",
+    "Lease",
+    "LeaseState",
+    "Locality",
+    "ResourceManager",
+    "RmStats",
+    "ServiceManager",
+    "SmStats",
+    "group_key",
+    "select_hosts",
+]

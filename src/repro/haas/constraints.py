@@ -1,0 +1,66 @@
+"""Placement constraints for HaaS components.
+
+"Each Component is an instance of a hardware service made up of one or
+more FPGAs and a set of constraints (locality, bandwidth, etc.)."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+class Locality(enum.Enum):
+    """How tightly a component's FPGAs must be co-located."""
+
+    ANY = "any"
+    SAME_POD = "same_pod"
+    SAME_TOR = "same_tor"
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Requirements attached to a component request."""
+
+    count: int = 1
+    locality: Locality = Locality.ANY
+    #: Minimum LTL bandwidth (bits/s) each member must be able to commit.
+    min_bandwidth_bps: float = 0.0
+    #: Hosts the component must avoid (e.g. anti-affinity with another
+    #: component of the same service).
+    exclude_hosts: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("component needs at least one FPGA")
+        if self.min_bandwidth_bps < 0:
+            raise ValueError("bandwidth must be non-negative")
+
+
+def group_key(topology, host: int, locality: Locality):
+    """The co-location bucket for ``host`` under ``locality``."""
+    coords = topology.coords(host)
+    if locality is Locality.SAME_TOR:
+        return (coords.pod, coords.tor)
+    if locality is Locality.SAME_POD:
+        return (coords.pod,)
+    return ()
+
+
+def select_hosts(topology, candidates: Sequence[int],
+                 constraints: Constraints) -> Optional[List[int]]:
+    """Pick ``constraints.count`` hosts satisfying locality, or None.
+
+    Greedy: bucket candidates by locality group, take the first bucket
+    with enough members (ANY puts everything in one bucket).
+    """
+    usable = [h for h in candidates if h not in constraints.exclude_hosts]
+    buckets: dict = {}
+    for host in usable:
+        buckets.setdefault(
+            group_key(topology, host, constraints.locality), []).append(host)
+    for members in buckets.values():
+        if len(members) >= constraints.count:
+            return sorted(members)[:constraints.count]
+    return None

@@ -1,0 +1,77 @@
+"""The per-node FPGA Manager (FM).
+
+"An FPGA Manager runs on each node to provide configuration and status
+monitoring for the system."  The FM is the only HaaS component that
+touches the shell directly: it loads role images on behalf of Service
+Managers and reports health to the Resource Manager.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..fpga.reconfig import Image
+from ..fpga.shell import Shell
+from ..sim import Environment
+
+
+class FpgaHealth(enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"     # soft errors above threshold
+    FAILED = "failed"
+
+
+@dataclass
+class FpgaStatus:
+    """Snapshot the FM reports upward."""
+
+    host: int
+    health: FpgaHealth
+    live_image: str
+    link_up: bool
+    allocated_to: Optional[str]
+
+
+class FpgaManager:
+    """One node's configuration/monitoring agent."""
+
+    def __init__(self, env: Environment, shell: Shell):
+        self.env = env
+        self.shell = shell
+        self.health = FpgaHealth.HEALTHY
+        self.allocated_to: Optional[str] = None
+        self.configurations = 0
+        #: RM's failure callback, installed at registration.
+        self.on_failure: Optional[Callable[[int], None]] = None
+
+    @property
+    def host(self) -> int:
+        return self.shell.host_index
+
+    def status(self) -> FpgaStatus:
+        return FpgaStatus(
+            host=self.host, health=self.health,
+            live_image=self.shell.configuration.live_image.name,
+            link_up=self.shell.bridge.link_up,
+            allocated_to=self.allocated_to)
+
+    def configure(self, image: Image):
+        """Process: deploy a role image (partial reconfiguration, so the
+        bridge keeps passing packets during the swap)."""
+        yield from self.shell.configuration.partial_reconfigure(image)
+        self.configurations += 1
+
+    def recover(self):
+        """Process: power-cycle to the golden image (last-resort repair)."""
+        yield from self.shell.configuration.power_cycle()
+        if self.health is not FpgaHealth.FAILED:
+            self.health = FpgaHealth.HEALTHY
+
+    def mark_failed(self) -> None:
+        """Declare this FPGA dead (hard failure or persistent SEUs)."""
+        self.health = FpgaHealth.FAILED
+        self.shell.board.mark_hard_failure("declared failed by FM")
+        if self.on_failure is not None:
+            self.on_failure(self.host)

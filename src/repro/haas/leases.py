@@ -1,0 +1,48 @@
+"""Lease bookkeeping for the Resource Manager.
+
+"The RM provides simple APIs for higher-level Service Managers to easily
+manage FPGA-based hardware Components through a lease-based model."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import List
+
+from .constraints import Constraints
+
+_lease_ids = count(1)
+
+
+class LeaseState(enum.Enum):
+    ACTIVE = "active"
+    EXPIRED = "expired"
+    RELEASED = "released"
+    REVOKED = "revoked"   # RM pulled it back (e.g. hardware failure)
+
+
+@dataclass
+class Lease:
+    """A grant of specific FPGAs to a service for a bounded time."""
+
+    service: str
+    hosts: List[int]
+    constraints: Constraints
+    granted_at: float
+    duration: float
+    lease_id: int = field(default_factory=lambda: next(_lease_ids))
+    state: LeaseState = LeaseState.ACTIVE
+
+    @property
+    def expires_at(self) -> float:
+        return self.granted_at + self.duration
+
+    def is_active(self, now: float) -> bool:
+        return self.state is LeaseState.ACTIVE and now < self.expires_at
+
+    def renew(self, now: float) -> None:
+        if self.state is not LeaseState.ACTIVE:
+            raise ValueError(f"cannot renew lease in state {self.state}")
+        self.granted_at = now

@@ -1,0 +1,181 @@
+"""The logically centralized Resource Manager (RM).
+
+"A logically centralized Resource Manager tracks FPGA resources
+throughout the datacenter ... FPGAs are allocated to each service from
+Resource Manager's resource pool."  Failed nodes are removed from the
+pool and any lease holding them is revoked so the owning Service Manager
+can re-acquire capacity ("failing nodes are removed from the pool with
+replacements quickly added").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..net.topology import ThreeTierTopology
+from ..sim import Environment
+from .constraints import Constraints, select_hosts
+from .fpga_manager import FpgaHealth, FpgaManager
+from .leases import Lease, LeaseState
+
+#: Default lease duration (control-plane heartbeat scale, not data plane).
+DEFAULT_LEASE_SECONDS = 300.0
+
+
+class AllocationError(Exception):
+    """No feasible allocation for the requested constraints."""
+
+
+@dataclass
+class RmStats:
+    acquires: int = 0
+    releases: int = 0
+    revocations: int = 0
+    failed_acquires: int = 0
+    expirations: int = 0
+
+
+class ResourceManager:
+    """Datacenter-wide FPGA pool with lease-based allocation."""
+
+    def __init__(self, env: Environment, topology: ThreeTierTopology,
+                 lease_duration: float = DEFAULT_LEASE_SECONDS,
+                 sweep_period: float = 30.0):
+        self.env = env
+        self.topology = topology
+        self.lease_duration = lease_duration
+        self.stats = RmStats()
+        self._managers: Dict[int, FpgaManager] = {}
+        self._leases: Dict[int, Lease] = {}
+        #: host -> lease_id for allocated hosts.
+        self._allocation: Dict[int, int] = {}
+        #: lease_id -> revocation callback (installed by the SM).
+        self._revocation_handlers: Dict[
+            int, Callable[[Lease, List[int]], None]] = {}
+        env.process(self._expiry_sweeper(), name="rm-sweeper")
+        self._sweep_period = sweep_period
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, manager: FpgaManager) -> None:
+        host = manager.host
+        if host in self._managers:
+            raise ValueError(f"host {host} already registered")
+        self._managers[host] = manager
+        manager.on_failure = self._on_node_failure
+
+    def unregister(self, host: int) -> None:
+        manager = self._managers.pop(host, None)
+        if manager is None:
+            raise KeyError(f"host {host} not registered")
+        self._evict(host)
+
+    def manager(self, host: int) -> FpgaManager:
+        return self._managers[host]
+
+    # ------------------------------------------------------------------
+    # Pool queries
+    # ------------------------------------------------------------------
+    def free_hosts(self) -> List[int]:
+        return [
+            host for host, fm in self._managers.items()
+            if host not in self._allocation
+            and fm.health is FpgaHealth.HEALTHY]
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._managers)
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocation)
+
+    # ------------------------------------------------------------------
+    # Lease lifecycle
+    # ------------------------------------------------------------------
+    def acquire(self, service: str, constraints: Constraints,
+                on_revoked: Optional[
+                    Callable[[Lease, List[int]], None]] = None) -> Lease:
+        """Allocate a component; raises :class:`AllocationError` if
+        infeasible."""
+        hosts = select_hosts(self.topology, self.free_hosts(), constraints)
+        if hosts is None:
+            self.stats.failed_acquires += 1
+            raise AllocationError(
+                f"cannot satisfy {constraints} for service {service!r}")
+        lease = Lease(service=service, hosts=hosts,
+                      constraints=constraints, granted_at=self.env.now,
+                      duration=self.lease_duration)
+        self._leases[lease.lease_id] = lease
+        for host in hosts:
+            self._allocation[host] = lease.lease_id
+            self._managers[host].allocated_to = service
+        if on_revoked is not None:
+            self._revocation_handlers[lease.lease_id] = on_revoked
+        self.stats.acquires += 1
+        return lease
+
+    def release(self, lease: Lease) -> None:
+        if lease.state is not LeaseState.ACTIVE:
+            return
+        lease.state = LeaseState.RELEASED
+        self._free_hosts_of(lease)
+        self._leases.pop(lease.lease_id, None)
+        self._revocation_handlers.pop(lease.lease_id, None)
+        self.stats.releases += 1
+
+    def renew(self, lease: Lease) -> None:
+        if lease.lease_id not in self._leases:
+            raise KeyError(f"unknown lease {lease.lease_id}")
+        lease.renew(self.env.now)
+
+    def _free_hosts_of(self, lease: Lease) -> None:
+        for host in lease.hosts:
+            if self._allocation.get(host) == lease.lease_id:
+                del self._allocation[host]
+                manager = self._managers.get(host)
+                if manager is not None:
+                    manager.allocated_to = None
+
+    # ------------------------------------------------------------------
+    # Failure / expiry
+    # ------------------------------------------------------------------
+    def _on_node_failure(self, host: int) -> None:
+        self._evict(host)
+
+    def _evict(self, host: int) -> None:
+        lease_id = self._allocation.pop(host, None)
+        if lease_id is None:
+            return
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            return
+        lease.state = LeaseState.REVOKED
+        self.stats.revocations += 1
+        remaining = [h for h in lease.hosts if h != host
+                     and self._allocation.get(h) == lease_id]
+        # Free the survivors too: the SM re-acquires a whole component
+        # (simplest correct semantics for component-granularity leases).
+        self._free_hosts_of(lease)
+        self._leases.pop(lease_id, None)
+        handler = self._revocation_handlers.pop(lease_id, None)
+        if handler is not None:
+            handler(lease, remaining)
+
+    def _expiry_sweeper(self):
+        while True:
+            yield self.env.timeout(self._sweep_period)
+            now = self.env.now
+            for lease in list(self._leases.values()):
+                if lease.state is LeaseState.ACTIVE and \
+                        now >= lease.expires_at:
+                    lease.state = LeaseState.EXPIRED
+                    self.stats.expirations += 1
+                    self._free_hosts_of(lease)
+                    self._leases.pop(lease.lease_id, None)
+                    handler = self._revocation_handlers.pop(
+                        lease.lease_id, None)
+                    if handler is not None:
+                        handler(lease, [])

@@ -1,0 +1,130 @@
+"""Service Managers (SM).
+
+"Each service has a Service Manager node to administer the service on the
+allocated resources.  SMs manage service-level tasks such as load
+balancing, inter-component connectivity, and failure handling by
+requesting and releasing Component leases through RM.  A SM provides
+pointers to the hardware service to one or more end users."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..fpga.reconfig import Image
+from ..sim import Environment
+from .constraints import Constraints
+from .leases import Lease
+from .resource_manager import AllocationError, ResourceManager
+
+
+@dataclass
+class SmStats:
+    components_acquired: int = 0
+    components_lost: int = 0
+    replacements: int = 0
+    requests_dispatched: int = 0
+
+
+class ServiceManager:
+    """Administers one hardware service on leased components."""
+
+    def __init__(self, env: Environment, name: str, rm: ResourceManager,
+                 image: Image, constraints: Optional[Constraints] = None):
+        self.env = env
+        self.name = name
+        self.rm = rm
+        self.image = image
+        self.constraints = constraints or Constraints()
+        self.stats = SmStats()
+        self.leases: List[Lease] = []
+        self._rr = 0
+        #: Components the SM failed to replace (pool exhausted).
+        self.pending_replacements = 0
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+    def grow(self, components: int = 1) -> List[Lease]:
+        """Acquire more components and deploy the service image on them."""
+        acquired = []
+        for _ in range(components):
+            lease = self.rm.acquire(self.name, self.constraints,
+                                    on_revoked=self._on_revoked)
+            self.leases.append(lease)
+            acquired.append(lease)
+            self.stats.components_acquired += 1
+            for host in lease.hosts:
+                self.env.process(
+                    self.rm.manager(host).configure(self.image),
+                    name=f"sm-{self.name}-configure-{host}")
+        return acquired
+
+    def shrink(self, components: int = 1) -> None:
+        """Release components back to the global pool."""
+        for _ in range(min(components, len(self.leases))):
+            lease = self.leases.pop()
+            self.rm.release(lease)
+
+    @property
+    def hosts(self) -> List[int]:
+        """All FPGAs currently serving this service."""
+        out: List[int] = []
+        for lease in self.leases:
+            if lease.is_active(self.env.now):
+                out.extend(lease.hosts)
+        return out
+
+    # ------------------------------------------------------------------
+    # End-user facing
+    # ------------------------------------------------------------------
+    def pick(self) -> int:
+        """Round-robin load balancing across the service's FPGAs."""
+        hosts = self.hosts
+        if not hosts:
+            raise RuntimeError(f"service {self.name!r} has no capacity")
+        host = hosts[self._rr % len(hosts)]
+        self._rr += 1
+        self.stats.requests_dispatched += 1
+        return host
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _on_revoked(self, lease: Lease, _survivors: List[int]) -> None:
+        """RM revoked a component (failure/expiry): replace it."""
+        if lease in self.leases:
+            self.leases.remove(lease)
+        self.stats.components_lost += 1
+        try:
+            replacement = self.rm.acquire(
+                self.name, self.constraints, on_revoked=self._on_revoked)
+        except AllocationError:
+            self.pending_replacements += 1
+            return
+        self.leases.append(replacement)
+        self.stats.replacements += 1
+        for host in replacement.hosts:
+            self.env.process(
+                self.rm.manager(host).configure(self.image),
+                name=f"sm-{self.name}-reconfigure-{host}")
+
+    def renew_all(self) -> None:
+        """Heartbeat: keep all component leases alive."""
+        for lease in self.leases:
+            self.rm.renew(lease)
+
+    def start_heartbeat(self, period: Optional[float] = None) -> None:
+        """Renew leases periodically (default: half the lease duration)."""
+        if period is None:
+            period = self.rm.lease_duration / 2
+        if period <= 0:
+            raise ValueError("heartbeat period must be positive")
+
+        def beat(env):
+            while True:
+                yield env.timeout(period)
+                self.renew_all()
+
+        self.env.process(beat(self.env), name=f"sm-{self.name}-heartbeat")

@@ -1,0 +1,437 @@
+"""The LTL protocol engine (paper §V-A, Fig. 9).
+
+One engine lives in each FPGA shell.  Its blocks map to Fig. 9:
+
+* **Packetizer and Transmit Buffer** — :meth:`LtlEngine.send_message`
+  fragments messages into MTU-sized DATA frames onto a per-connection
+  send frame queue.
+* **Send/Receive Connection Tables** — :mod:`repro.ltl.connection`.
+* **Unack'd Frame Store + Ack Receiver** — outgoing frames are buffered
+  and tracked until cumulatively ACKed; timeouts (default 50 µs,
+  configurable, exactly as the paper states) trigger retransmission, and
+  repeated timeouts identify failing nodes.
+* **Ack Generation** — every in-order DATA frame is cumulatively ACKed;
+  detected reordering triggers a NACK requesting timely retransmission of
+  the missing range without waiting for a timeout.
+* **Congestion control** — ECN-marked arrivals piggyback a DC-QCN
+  congestion flag on the ACK; the sender's per-connection
+  :class:`~repro.net.dcqcn.DcqcnRateController` paces transmission.
+* **Bandwidth limiting** — an optional
+  :class:`~repro.ltl.ratelimit.BandwidthLimiter` keeps the FPGA from
+  exceeding a configurable share of the host's network bandwidth.
+
+The engine is transport-agnostic: anything implementing
+``send_frame(dst_host, frame)`` and calling
+:meth:`LtlEngine.receive_frame` works — the FPGA shell supplies the real
+40G MAC + fabric transport, unit tests supply fault-injecting loopbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..net.dcqcn import CnpGenerator, DcqcnConfig, DcqcnRateController
+from ..sim import Environment, Store
+from .connection import (
+    ConnectionTable,
+    PendingMessage,
+    ReceiveConnectionState,
+    SendConnectionState,
+    UnackedFrame,
+)
+from .frames import (
+    LtlFrame,
+    make_ack,
+    make_data_frame,
+    make_nack,
+    nack_range,
+)
+from .ratelimit import BandwidthLimiter
+
+
+@dataclass
+class LtlConfig:
+    """Engine tunables; defaults match the production deployment."""
+
+    #: Max DATA payload per frame (fits in a 1500 B MTU under UDP/IP/LTL).
+    mtu_payload_bytes: int = 1408
+    #: Max unacknowledged frames per connection.
+    window_frames: int = 64
+    #: Retransmission timeout — "currently set to 50 usec".
+    retransmit_timeout: float = 50e-6
+    #: Consecutive timeouts before the connection is declared failed
+    #: ("timeouts can also be used to identify failing nodes quickly").
+    max_consecutive_timeouts: int = 8
+    #: LTL transmit-path processing (packetize + connection lookup).
+    tx_latency: float = 0.45e-6
+    #: LTL receive-path processing including ACK generation.
+    rx_latency: float = 0.53e-6
+    #: Processing of a received ACK (ack receiver block).
+    ack_rx_latency: float = 0.18e-6
+    #: Scan period of the retransmission timer wheel.
+    timer_period: float = 10e-6
+    #: DC-QCN configuration shared by all connections.
+    dcqcn: DcqcnConfig = field(default_factory=DcqcnConfig)
+    #: Enable DC-QCN pacing of the send path.
+    congestion_control: bool = True
+    #: Optional cap on this engine's injection bandwidth (bits/second).
+    rate_limit_bps: Optional[float] = None
+
+
+@dataclass
+class LtlStats:
+    """Aggregate engine statistics."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    frames_sent: int = 0
+    frames_received: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    nacks_sent: int = 0
+    nacks_received: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    duplicates_dropped: int = 0
+    rate_limited_drops: int = 0
+    connections_failed: int = 0
+
+
+class LtlEngine:
+    """One FPGA's Lightweight Transport Layer endpoint."""
+
+    def __init__(self, env: Environment, host_index: int,
+                 transport: Optional[Any] = None,
+                 config: Optional[LtlConfig] = None,
+                 name: Optional[str] = None):
+        self.env = env
+        self.host_index = host_index
+        self.transport = transport
+        self.config = config or LtlConfig()
+        self.name = name or f"ltl-{host_index}"
+        self.stats = LtlStats()
+        self.send_table = ConnectionTable()
+        self.recv_table = ConnectionTable()
+        self._message_ids = count()
+        #: Called with (connection_id, payload, length_bytes) on delivery.
+        self.on_message: Optional[
+            Callable[[int, Any, int], None]] = None
+        #: Called with (connection_id, remote_host) on connection failure.
+        self.on_connection_failed: Optional[
+            Callable[[int, int], None]] = None
+        self.limiter: Optional[BandwidthLimiter] = None
+        if self.config.rate_limit_bps is not None:
+            # Burst depth ~ 1 ms at the configured rate (min 4 frames),
+            # so the limiter actually shapes sustained traffic.
+            burst = max(4 * self.config.mtu_payload_bytes,
+                        int(self.config.rate_limit_bps / 8 * 1e-3))
+            self.limiter = BandwidthLimiter(self.config.rate_limit_bps,
+                                            burst_bytes=burst)
+        self._cnp = CnpGenerator(self.config.dcqcn)
+        self._pump_wakeup = Store(env)
+        self._nack_outstanding: Dict[int, int] = {}
+        env.process(self._send_pump(), name=f"{self.name}:pump")
+        env.process(self._retransmit_timer(), name=f"{self.name}:timer")
+
+    # ------------------------------------------------------------------
+    # Connection management (static allocation, per the paper)
+    # ------------------------------------------------------------------
+    def open_send_connection(self, remote_host: int,
+                             remote_connection_id: int,
+                             vc: int = 0) -> int:
+        """Allocate a send-table entry toward a remote receive entry."""
+        connection_id = self.send_table.allocate()
+        state = SendConnectionState(
+            connection_id=connection_id, remote_host=remote_host,
+            remote_connection_id=remote_connection_id, vc=vc,
+            dcqcn=DcqcnRateController(self.config.dcqcn))
+        self.send_table.install(connection_id, state)
+        return connection_id
+
+    def open_receive_connection(self, remote_host: int,
+                                remote_connection_id: int) -> int:
+        """Allocate a receive-table entry for a remote sender."""
+        connection_id = self.recv_table.allocate()
+        state = ReceiveConnectionState(
+            connection_id=connection_id, remote_host=remote_host,
+            remote_connection_id=remote_connection_id)
+        self.recv_table.install(connection_id, state)
+        return connection_id
+
+    def close_send_connection(self, connection_id: int) -> None:
+        self.send_table.deallocate(connection_id)
+
+    def close_receive_connection(self, connection_id: int) -> None:
+        self.recv_table.deallocate(connection_id)
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send_message(self, connection_id: int, payload: Any,
+                     length_bytes: int) -> int:
+        """Fragment and queue a message; returns its message id."""
+        state: SendConnectionState = self.send_table.lookup(connection_id)
+        if state.failed:
+            raise RuntimeError(
+                f"connection {connection_id} has failed; reprovision it")
+        message_id = next(self._message_ids)
+        mtu = self.config.mtu_payload_bytes
+        total_fragments = max(1, -(-length_bytes // mtu))
+        remaining = length_bytes
+        for fragment in range(total_fragments):
+            frag_bytes = min(mtu, remaining)
+            remaining -= frag_bytes
+            if isinstance(payload, (bytes, bytearray)):
+                frag_payload = bytes(
+                    payload[fragment * mtu: fragment * mtu + frag_bytes])
+            else:
+                # Opaque payload: carried whole on the first fragment.
+                frag_payload = payload if fragment == 0 else b""
+            frame = make_data_frame(
+                connection_id=state.remote_connection_id,
+                seq=state.next_seq, message_id=message_id,
+                fragment=fragment, total_fragments=total_fragments,
+                payload=frag_payload, payload_bytes=frag_bytes)
+            state.next_seq += 1
+            state.send_queue.append(frame)
+        self.stats.messages_sent += 1
+        self._kick()
+        return message_id
+
+    def _kick(self) -> None:
+        if len(self._pump_wakeup) == 0:
+            self._pump_wakeup.put(None)
+
+    def _sendable(self) -> List[SendConnectionState]:
+        return [
+            state for state in self.send_table.values()
+            if state.send_queue and not state.failed
+            and state.in_flight < self.config.window_frames]
+
+    def _send_pump(self):
+        """Drain send queues, pacing by DC-QCN rate and the tx pipeline."""
+        cfg = self.config
+        while True:
+            ready = self._sendable()
+            if not ready:
+                yield self._pump_wakeup.get()
+                continue
+            for state in ready:
+                if not state.send_queue or \
+                        state.in_flight >= cfg.window_frames:
+                    continue
+                frame = state.send_queue.pop(0)
+                if self.limiter is not None and not self.limiter.admit(
+                        frame.wire_bytes, self.env.now):
+                    # Random early drop at the tap: the frame is *not*
+                    # transmitted now; it returns to the queue head and is
+                    # retried after a pacing delay (the reliable layer
+                    # means intent is never lost, only delayed).
+                    state.send_queue.insert(0, frame)
+                    self.stats.rate_limited_drops += 1
+                    yield self.env.timeout(
+                        frame.wire_bytes * 8 / self.limiter.bucket.rate_bps)
+                    continue
+                pacing = 0.0
+                if cfg.congestion_control:
+                    state.dcqcn.on_increase_timer(self.env.now)
+                    rate = state.dcqcn.current_rate
+                    if rate < state.dcqcn.config.line_rate_bps:
+                        pacing = frame.wire_bytes * 8 / rate
+                yield self.env.timeout(max(cfg.tx_latency, pacing))
+                self._transmit(state, frame, retransmission=False)
+
+    def _transmit(self, state: SendConnectionState, frame: LtlFrame,
+                  retransmission: bool) -> None:
+        now = self.env.now
+        entry = state.unacked.get(frame.seq)
+        if entry is None:
+            state.unacked[frame.seq] = UnackedFrame(
+                frame=frame, first_sent_at=now, last_sent_at=now)
+        else:
+            entry.last_sent_at = now
+            entry.transmissions += 1
+        state.frames_sent += 1
+        self.stats.frames_sent += 1
+        if retransmission:
+            state.retransmissions += 1
+            self.stats.retransmissions += 1
+        if self.transport is not None:
+            self.transport.send_frame(state.remote_host, frame)
+
+    # ------------------------------------------------------------------
+    # Retransmission timer
+    # ------------------------------------------------------------------
+    def _retransmit_timer(self):
+        cfg = self.config
+        while True:
+            yield self.env.timeout(cfg.timer_period)
+            now = self.env.now
+            for state in list(self.send_table.values()):
+                if state.failed or not state.unacked:
+                    continue
+                # Mild exponential backoff (capped at 4x): congestion-
+                # induced ACK delay must not trigger a retransmission
+                # storm, but failure detection must stay fast.
+                backoff = cfg.retransmit_timeout * (
+                    1 << min(state.consecutive_timeouts, 2))
+                if state.oldest_unacked_age(now) < backoff:
+                    continue
+                self.stats.timeouts += 1
+                state.consecutive_timeouts += 1
+                if state.consecutive_timeouts > cfg.max_consecutive_timeouts:
+                    self._fail_connection(state)
+                    continue
+                # Conservative go-back-one: resend only the oldest frame;
+                # the cumulative ACK it elicits re-opens the window.
+                oldest = next(iter(state.unacked.values()))
+                self._transmit(state, oldest.frame, retransmission=True)
+
+    def _fail_connection(self, state: SendConnectionState) -> None:
+        state.failed = True
+        self.stats.connections_failed += 1
+        if self.on_connection_failed is not None:
+            self.on_connection_failed(state.connection_id, state.remote_host)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def receive_frame(self, frame: LtlFrame, ecn_marked: bool = False,
+                      src_host: Optional[int] = None) -> None:
+        """Entry point from the transport (already past the MAC)."""
+        self.env.process(
+            self._receive(frame, ecn_marked), name=f"{self.name}:rx")
+
+    def _receive(self, frame: LtlFrame, ecn_marked: bool):
+        if frame.is_ack:
+            yield self.env.timeout(self.config.ack_rx_latency)
+            self._handle_ack(frame)
+            return
+        yield self.env.timeout(self.config.rx_latency)
+        if frame.is_nack:
+            self._handle_nack(frame)
+        else:
+            self._handle_data(frame, ecn_marked)
+
+    def _handle_ack(self, frame: LtlFrame) -> None:
+        self.stats.acks_received += 1
+        try:
+            state: SendConnectionState = self.send_table.lookup(
+                frame.connection_id)
+        except Exception:
+            return  # stale ACK for a deallocated connection
+        state.apply_ack(frame.ack_seq, self.env.now)
+        if frame.congestion_flag and self.config.congestion_control:
+            state.dcqcn.on_cnp(self.env.now)
+        self._kick()
+
+    def _handle_nack(self, frame: LtlFrame) -> None:
+        self.stats.nacks_received += 1
+        try:
+            state: SendConnectionState = self.send_table.lookup(
+                frame.connection_id)
+        except Exception:
+            return
+        lo, hi = nack_range(frame)
+        for seq in range(lo, hi + 1):
+            entry = state.unacked.get(seq)
+            if entry is not None:
+                self._transmit(state, entry.frame, retransmission=True)
+
+    def _handle_data(self, frame: LtlFrame, ecn_marked: bool) -> None:
+        self.stats.frames_received += 1
+        try:
+            state: ReceiveConnectionState = self.recv_table.lookup(
+                frame.connection_id)
+        except Exception:
+            return
+        state.frames_received += 1
+        congestion = False
+        if ecn_marked:
+            congestion = self._cnp.on_marked_packet(
+                frame.connection_id, self.env.now)
+
+        if frame.seq < state.expected_seq:
+            # Duplicate (a retransmission that raced the original ACK).
+            state.duplicates += 1
+            self.stats.duplicates_dropped += 1
+            self._send_ack(state, congestion)
+            return
+        if frame.seq > state.expected_seq:
+            # Reordering detected: buffer and NACK the gap once.
+            state.out_of_order += 1
+            state.reorder_buffer[frame.seq] = frame
+            already = self._nack_outstanding.get(state.connection_id, -1)
+            if already < state.expected_seq:
+                self._nack_outstanding[state.connection_id] = frame.seq - 1
+                nack = make_nack(state.remote_connection_id,
+                                 (state.expected_seq, frame.seq - 1))
+                state.nacks_sent += 1
+                self.stats.nacks_sent += 1
+                if self.transport is not None:
+                    self.transport.send_frame(state.remote_host, nack)
+            return
+
+        # In-order: accept, then drain any buffered successors.
+        self._accept_data(state, frame)
+        while state.expected_seq in state.reorder_buffer:
+            self._accept_data(
+                state, state.reorder_buffer.pop(state.expected_seq))
+        self._nack_outstanding.pop(state.connection_id, None)
+        self._send_ack(state, congestion)
+
+    def _accept_data(self, state: ReceiveConnectionState,
+                     frame: LtlFrame) -> None:
+        state.expected_seq = frame.seq + 1
+        pending = state.reassembly.setdefault(
+            frame.message_id, PendingMessage(
+                total_fragments=frame.total_fragments))
+        pending.fragments[frame.fragment] = (
+            frame.payload, frame.payload_bytes)
+        if pending.complete:
+            del state.reassembly[frame.message_id]
+            payload, total_bytes = pending.assemble()
+            self.stats.messages_delivered += 1
+            if self.on_message is not None:
+                self.on_message(state.connection_id, payload, total_bytes)
+
+    def _send_ack(self, state: ReceiveConnectionState,
+                  congestion: bool) -> None:
+        ack = make_ack(state.remote_connection_id,
+                       state.expected_seq - 1, congestion=congestion)
+        self.stats.acks_sent += 1
+        if self.transport is not None:
+            self.transport.send_frame(state.remote_host, ack)
+
+    # ------------------------------------------------------------------
+    def rtt_samples(self) -> List[float]:
+        """All clean (non-retransmitted) RTT samples across connections."""
+        samples: List[float] = []
+        for state in self.send_table.values():
+            samples.extend(state.rtt_samples)
+        return samples
+
+
+def connect_pair(a: LtlEngine, b: LtlEngine,
+                 vc: int = 0) -> Tuple[int, int]:
+    """Set up a bidirectional connection between two engines.
+
+    Returns ``(conn_at_a, conn_at_b)`` — each engine's *send* connection id
+    toward the other.  (Static control-plane setup; the paper's connections
+    are statically allocated and persistent, so establishment cost is not
+    modeled.)
+    """
+    recv_at_b = b.recv_table.allocate()
+    send_at_a = a.open_send_connection(b.host_index, recv_at_b, vc=vc)
+    b.recv_table.install(recv_at_b, ReceiveConnectionState(
+        connection_id=recv_at_b, remote_host=a.host_index,
+        remote_connection_id=send_at_a))
+
+    recv_at_a = a.recv_table.allocate()
+    send_at_b = b.open_send_connection(a.host_index, recv_at_a, vc=vc)
+    a.recv_table.install(recv_at_a, ReceiveConnectionState(
+        connection_id=recv_at_a, remote_host=b.host_index,
+        remote_connection_id=send_at_b))
+    return send_at_a, send_at_b

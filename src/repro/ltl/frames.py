@@ -1,0 +1,157 @@
+"""LTL frame format.
+
+LTL (Lightweight Transport Layer) frames ride inside UDP datagrams (the
+protocol "uses UDP for frame encapsulation and IP for routing packets
+across the datacenter network").  A frame is either DATA (a fragment of a
+message on a connection), ACK (cumulative acknowledgement, optionally
+carrying a DC-QCN congestion-notification flag), or NACK (a request for
+timely retransmission of specific sequence numbers after reordering was
+detected).
+
+The header serializes to real bytes so tests can round-trip frames through
+the wire representation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+#: UDP destination port LTL engines listen on.
+LTL_UDP_PORT = 51000
+
+MAGIC = 0x17E5
+
+# Frame types.
+TYPE_DATA = 1
+TYPE_ACK = 2
+TYPE_NACK = 3
+
+# Flags.
+FLAG_FIRST_FRAG = 1 << 0
+FLAG_LAST_FRAG = 1 << 1
+FLAG_CONGESTION = 1 << 2  # DC-QCN CNP piggybacked on an ACK
+
+_HEADER_FMT = "!HBBIIIHHHI"
+#: Size of the LTL header on the wire.
+LTL_HEADER_BYTES = struct.calcsize(_HEADER_FMT)
+
+
+@dataclass
+class LtlFrame:
+    """One LTL protocol data unit.
+
+    ``payload`` may be bytes or an opaque object; ``payload_bytes`` is the
+    authoritative size (consistent with :class:`repro.net.packet.Packet`).
+    """
+
+    frame_type: int
+    connection_id: int
+    seq: int = 0
+    message_id: int = 0
+    fragment: int = 0
+    total_fragments: int = 1
+    flags: int = 0
+    ack_seq: int = 0
+    payload: Any = b""
+    payload_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes == 0 and isinstance(
+                self.payload, (bytes, bytearray)):
+            self.payload_bytes = len(self.payload)
+
+    # -- convenience ----------------------------------------------------
+    @property
+    def is_data(self) -> bool:
+        return self.frame_type == TYPE_DATA
+
+    @property
+    def is_ack(self) -> bool:
+        return self.frame_type == TYPE_ACK
+
+    @property
+    def is_nack(self) -> bool:
+        return self.frame_type == TYPE_NACK
+
+    @property
+    def is_first_fragment(self) -> bool:
+        return bool(self.flags & FLAG_FIRST_FRAG)
+
+    @property
+    def is_last_fragment(self) -> bool:
+        return bool(self.flags & FLAG_LAST_FRAG)
+
+    @property
+    def congestion_flag(self) -> bool:
+        return bool(self.flags & FLAG_CONGESTION)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Frame size carried as UDP payload."""
+        return LTL_HEADER_BYTES + self.payload_bytes
+
+    # -- serialization ----------------------------------------------------
+    def header_to_bytes(self) -> bytes:
+        return struct.pack(
+            _HEADER_FMT, MAGIC, self.frame_type, self.flags,
+            self.connection_id, self.seq, self.message_id, self.fragment,
+            self.total_fragments, self.payload_bytes & 0xFFFF, self.ack_seq)
+
+    @classmethod
+    def header_from_bytes(cls, raw: bytes) -> "LtlFrame":
+        if len(raw) < LTL_HEADER_BYTES:
+            raise ValueError("truncated LTL header")
+        (magic, frame_type, flags, connection_id, seq, message_id, fragment,
+         total_fragments, payload_bytes, ack_seq) = struct.unpack(
+            _HEADER_FMT, raw[:LTL_HEADER_BYTES])
+        if magic != MAGIC:
+            raise ValueError(f"bad LTL magic: {magic:#x}")
+        return cls(frame_type=frame_type, flags=flags,
+                   connection_id=connection_id, seq=seq,
+                   message_id=message_id, fragment=fragment,
+                   total_fragments=total_fragments,
+                   payload=b"", payload_bytes=payload_bytes,
+                   ack_seq=ack_seq)
+
+
+def make_data_frame(connection_id: int, seq: int, message_id: int,
+                    fragment: int, total_fragments: int, payload: Any,
+                    payload_bytes: int) -> LtlFrame:
+    """Build a DATA frame with first/last-fragment flags set correctly."""
+    flags = 0
+    if fragment == 0:
+        flags |= FLAG_FIRST_FRAG
+    if fragment == total_fragments - 1:
+        flags |= FLAG_LAST_FRAG
+    return LtlFrame(frame_type=TYPE_DATA, connection_id=connection_id,
+                    seq=seq, message_id=message_id, fragment=fragment,
+                    total_fragments=total_fragments, flags=flags,
+                    payload=payload, payload_bytes=payload_bytes)
+
+
+def make_ack(connection_id: int, ack_seq: int,
+             congestion: bool = False) -> LtlFrame:
+    """Cumulative ACK up to and including ``ack_seq``."""
+    flags = FLAG_CONGESTION if congestion else 0
+    return LtlFrame(frame_type=TYPE_ACK, connection_id=connection_id,
+                    flags=flags, ack_seq=ack_seq)
+
+
+def make_nack(connection_id: int, missing: Tuple[int, int]) -> LtlFrame:
+    """NACK requesting retransmission of seqs in ``[missing[0], missing[1]]``.
+
+    The missing range rides in the payload as two packed u32s.
+    """
+    lo, hi = missing
+    payload = struct.pack("!II", lo, hi)
+    return LtlFrame(frame_type=TYPE_NACK, connection_id=connection_id,
+                    payload=payload, payload_bytes=len(payload))
+
+
+def nack_range(frame: LtlFrame) -> Tuple[int, int]:
+    """Decode the missing-seq range from a NACK frame."""
+    if not frame.is_nack:
+        raise ValueError("not a NACK frame")
+    return struct.unpack("!II", frame.payload[:8])

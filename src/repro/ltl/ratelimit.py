@@ -1,0 +1,98 @@
+"""Bandwidth limiting for LTL roles.
+
+"To prevent issues, LTL implements bandwidth limiting to prevent the FPGA
+from exceeding a configurable bandwidth limit" and the network tap performs
+"bandwidth limiting via random early drops".
+
+:class:`TokenBucket` is the pacing primitive; :class:`RandomEarlyDropper`
+converts sustained over-limit pressure into an increasing drop
+probability, so a misbehaving role degrades statistically rather than
+head-of-line blocking the bump-in-the-wire datapath.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_bps`` refill, ``burst_bytes`` depth."""
+
+    def __init__(self, rate_bps: float, burst_bytes: int):
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(
+                self.burst_bytes,
+                self._tokens + elapsed * self.rate_bps / 8.0)
+            self._last_refill = now
+
+    def try_consume(self, nbytes: int, now: float) -> bool:
+        """Take ``nbytes`` of credit if available; False otherwise."""
+        self._refill(now)
+        if self._tokens >= nbytes:
+            self._tokens -= nbytes
+            return True
+        return False
+
+    def fill_fraction(self, now: float) -> float:
+        """Current fill level in [0, 1] (1 = completely idle)."""
+        self._refill(now)
+        return self._tokens / self.burst_bytes
+
+
+@dataclass
+class RedConfig:
+    """Random-early-drop ramp on bucket *emptiness*.
+
+    Dropping starts once the bucket falls below ``start_fraction`` fill and
+    reaches ``max_drop_probability`` at empty.
+    """
+
+    start_fraction: float = 0.5
+    max_drop_probability: float = 1.0
+
+    def drop_probability(self, fill_fraction: float) -> float:
+        if fill_fraction >= self.start_fraction:
+            return 0.0
+        depletion = 1.0 - fill_fraction / self.start_fraction
+        return self.max_drop_probability * depletion
+
+
+class BandwidthLimiter:
+    """Token bucket + random early drops, as the LTL tap implements.
+
+    ``admit`` returns whether the frame may enter the network: frames
+    within the configured bandwidth always pass; beyond it they are dropped
+    with probability growing as the bucket drains.
+    """
+
+    def __init__(self, rate_bps: float, burst_bytes: int = 256 * 1024,
+                 red: RedConfig | None = None,
+                 rng: random.Random | None = None):
+        self.bucket = TokenBucket(rate_bps, burst_bytes)
+        self.red = red or RedConfig()
+        self.rng = rng or random.Random(0)
+        self.admitted = 0
+        self.dropped = 0
+
+    def admit(self, nbytes: int, now: float) -> bool:
+        fill = self.bucket.fill_fraction(now)
+        if self.rng.random() < self.red.drop_probability(fill):
+            self.dropped += 1
+            return False
+        if self.bucket.try_consume(nbytes, now):
+            self.admitted += 1
+            return True
+        self.dropped += 1
+        return False

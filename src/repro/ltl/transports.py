@@ -1,0 +1,90 @@
+"""Pluggable transports for the LTL engine.
+
+The production transport is the FPGA shell's 40G MAC into the datacenter
+fabric (:class:`repro.fpga.shell.Shell` provides it).  This module supplies
+lightweight transports for unit tests and protocol studies:
+
+* :class:`DirectTransport` — fixed-delay delivery between registered
+  engines, with optional fault injection (drop / reorder / duplicate),
+  exercising exactly the failure modes LTL's ACK/NACK machinery exists
+  to mask.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim import Environment
+from .engine import LtlEngine
+from .frames import LtlFrame
+
+
+@dataclass
+class FaultModel:
+    """Probabilities of per-frame transport faults."""
+
+    drop_probability: float = 0.0
+    reorder_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    #: Extra delay applied to a reordered frame.
+    reorder_delay: float = 5e-6
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "reorder_probability",
+                     "duplicate_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+
+class DirectTransport:
+    """Point-to-point delivery between engines with fault injection."""
+
+    def __init__(self, env: Environment, delay: float = 1e-6,
+                 faults: Optional[FaultModel] = None,
+                 rng: Optional[random.Random] = None):
+        self.env = env
+        self.delay = delay
+        self.faults = faults or FaultModel()
+        self.rng = rng or random.Random(0)
+        self._engines: Dict[int, LtlEngine] = {}
+        self.frames_in_flight = 0
+        self.frames_dropped = 0
+        self.frames_reordered = 0
+        self.frames_duplicated = 0
+
+    def register(self, engine: LtlEngine) -> None:
+        """Attach an engine; its ``host_index`` becomes its address."""
+        if engine.host_index in self._engines:
+            raise ValueError(f"host {engine.host_index} already registered")
+        self._engines[engine.host_index] = engine
+        engine.transport = self
+
+    def send_frame(self, dst_host: int, frame: LtlFrame) -> None:
+        if self.rng.random() < self.faults.drop_probability:
+            self.frames_dropped += 1
+            return
+        delay = self.delay
+        if self.rng.random() < self.faults.reorder_probability:
+            self.frames_reordered += 1
+            delay += self.faults.reorder_delay
+        self._schedule(dst_host, frame, delay)
+        if self.rng.random() < self.faults.duplicate_probability:
+            self.frames_duplicated += 1
+            self._schedule(dst_host, frame, delay + self.delay)
+
+    def _schedule(self, dst_host: int, frame: LtlFrame,
+                  delay: float) -> None:
+        engine = self._engines.get(dst_host)
+        if engine is None:
+            return  # destination died: frames silently vanish
+
+        def _deliver():
+            self.frames_in_flight += 1
+            yield self.env.timeout(delay)
+            self.frames_in_flight -= 1
+            engine.receive_frame(frame)
+
+        self.env.process(_deliver(), name="transport-deliver")

@@ -1,0 +1,158 @@
+"""Point-to-point links and transmit ports.
+
+A :class:`Port` owns the transmit side of a link: packets queue per traffic
+class, are serialized at the link rate, and arrive at the peer after the
+link's propagation delay.  Priority-based flow control (PFC) pauses
+individual traffic classes on the transmit side; the receiving switch
+asserts/deasserts pause on its upstream ports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from ..sim import Environment, Store
+from ..sim.units import serialization_delay
+from .packet import Packet, TrafficClass
+
+#: Speed of light in fiber, metres per second (~2/3 c).
+FIBER_METERS_PER_SECOND = 2.0e8
+
+
+def propagation_delay(distance_m: float) -> float:
+    """One-way propagation delay for ``distance_m`` metres of fiber."""
+    if distance_m < 0:
+        raise ValueError("distance must be non-negative")
+    return distance_m / FIBER_METERS_PER_SECOND
+
+
+class PortStats:
+    """Counters for a single transmit port."""
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.transmitted = 0
+        self.dropped = 0
+        self.bytes_transmitted = 0
+        self.pause_events = 0
+
+    def __repr__(self) -> str:
+        return (f"PortStats(tx={self.transmitted}, drop={self.dropped}, "
+                f"bytes={self.bytes_transmitted})")
+
+
+class Port:
+    """Transmit side of a link with per-traffic-class queues and PFC.
+
+    ``deliver`` is the receive function on the far end: it is called with
+    the packet once serialization + propagation complete.  Classes are
+    drained strictly by priority (higher traffic-class number first), which
+    models the switch giving the lossless class precedence.
+    """
+
+    def __init__(self, env: Environment, name: str, rate_bps: float,
+                 distance_m: float = 5.0,
+                 deliver: Optional[Callable[[Packet], None]] = None,
+                 queue_capacity_bytes: int = 1 << 20):
+        self.env = env
+        self.name = name
+        self.rate_bps = rate_bps
+        self.propagation = propagation_delay(distance_m)
+        self.deliver = deliver
+        self.queue_capacity_bytes = queue_capacity_bytes
+        self.stats = PortStats()
+        self._queues: Dict[int, Deque[Packet]] = {
+            tc: deque() for tc in TrafficClass.ALL}
+        self._queued_bytes: Dict[int, int] = {tc: 0 for tc in TrafficClass.ALL}
+        self._paused: Dict[int, bool] = {tc: False for tc in TrafficClass.ALL}
+        self._wakeup = Store(env)
+        self._drainer = env.process(self._drain(), name=f"port:{name}")
+        #: Optional hook invoked with each transmitted packet (telemetry).
+        self.on_transmit: Optional[Callable[[Packet], None]] = None
+
+    # ------------------------------------------------------------------
+    # Enqueue / flow control
+    # ------------------------------------------------------------------
+    @property
+    def queued_bytes_total(self) -> int:
+        return sum(self._queued_bytes.values())
+
+    def queued_bytes(self, tc: int) -> int:
+        return self._queued_bytes[tc]
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission.
+
+        Returns False (and drops) if a non-lossless queue is full.  Lossless
+        packets are always accepted — back-pressure is PFC's job; the switch
+        asserting PFC too late shows up in stats as ``lossless_overflow``.
+        """
+        tc = packet.traffic_class
+        size = packet.wire_bytes
+        if not TrafficClass.is_lossless(tc) and \
+                self.queued_bytes_total + size > self.queue_capacity_bytes:
+            self.stats.dropped += 1
+            return False
+        self._queues[tc].append(packet)
+        self._queued_bytes[tc] += size
+        self.stats.enqueued += 1
+        self._kick()
+        return True
+
+    def pause(self, tc: int) -> None:
+        """PFC: stop transmitting class ``tc`` (idempotent)."""
+        if not self._paused[tc]:
+            self._paused[tc] = True
+            self.stats.pause_events += 1
+
+    def resume(self, tc: int) -> None:
+        """PFC: resume transmitting class ``tc``."""
+        if self._paused[tc]:
+            self._paused[tc] = False
+            self._kick()
+
+    def is_paused(self, tc: int) -> bool:
+        return self._paused[tc]
+
+    # ------------------------------------------------------------------
+    # Drain loop
+    # ------------------------------------------------------------------
+    def _kick(self) -> None:
+        if len(self._wakeup) == 0:
+            self._wakeup.put(None)
+
+    def _next_packet(self) -> Optional[Packet]:
+        for tc in sorted(TrafficClass.ALL, reverse=True):
+            if self._queues[tc] and not self._paused[tc]:
+                packet = self._queues[tc].popleft()
+                self._queued_bytes[tc] -= packet.wire_bytes
+                return packet
+        return None
+
+    def _drain(self):
+        while True:
+            packet = self._next_packet()
+            if packet is None:
+                yield self._wakeup.get()
+                continue
+            delay = serialization_delay(packet.wire_bytes, self.rate_bps)
+            yield self.env.timeout(delay)
+            self.stats.transmitted += 1
+            self.stats.bytes_transmitted += packet.wire_bytes
+            if self.on_transmit is not None:
+                self.on_transmit(packet)
+            if self.deliver is not None:
+                self._launch(packet)
+
+    def _launch(self, packet: Packet) -> None:
+        """Apply propagation delay, then hand to the receiver."""
+        if self.propagation <= 0:
+            self.deliver(packet)
+            return
+
+        def _arrive(deliver=self.deliver, pkt=packet):
+            yield self.env.timeout(self.propagation)
+            deliver(pkt)
+
+        self.env.process(_arrive(), name=f"prop:{self.name}")

@@ -1,0 +1,103 @@
+"""Real background cross-traffic.
+
+The default fabric models the rest of the datacenter's load as per-hop
+queueing jitter (:mod:`repro.net.latency`) so that 250k-host experiments
+stay cheap.  For rack/pod-scale studies this module provides the real
+thing: hosts exchanging actual best-effort packets, sharing switch
+queues with the traffic under test — foreground LTL flows then see
+genuine queueing, ECN marking, and PFC interactions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim import Environment
+from .fabric import DatacenterFabric
+from .packet import TrafficClass
+
+
+@dataclass
+class BackgroundLoadConfig:
+    """Shape of the generated cross-traffic."""
+
+    #: Target utilization of each sender's uplink, 0..1.
+    utilization: float = 0.2
+    #: Packet payload size (bytes).
+    packet_bytes: int = 1400
+    #: Traffic class the load rides on (baseline TCP-ish -> best effort).
+    traffic_class: int = TrafficClass.BEST_EFFORT
+    #: Mean packets per burst (geometric); bursts model flow-level
+    #: on/off behaviour rather than smooth Poisson packets.
+    mean_burst_packets: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utilization < 1.0:
+            raise ValueError("utilization must be in [0, 1)")
+        if self.packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+
+
+class BackgroundLoadGenerator:
+    """Attach sink hosts to the fabric and blast traffic between them.
+
+    ``hosts`` are attached by this generator (they must not already be
+    attached); each sends bursts to uniformly random peers at the
+    configured utilization.  Use :meth:`stop` to silence the generator.
+    """
+
+    def __init__(self, env: Environment, fabric: DatacenterFabric,
+                 hosts: List[int],
+                 config: Optional[BackgroundLoadConfig] = None,
+                 rng: Optional[random.Random] = None):
+        if len(hosts) < 2:
+            raise ValueError("background traffic needs at least 2 hosts")
+        self.env = env
+        self.fabric = fabric
+        self.hosts = list(hosts)
+        self.config = config or BackgroundLoadConfig()
+        self.rng = rng or random.Random(0)
+        self.packets_sent = 0
+        self.packets_received = 0
+        self._running = True
+        self._attachments = {}
+        for host in self.hosts:
+            self._attachments[host] = fabric.attach(
+                host, self._sink)
+        for host in self.hosts:
+            env.process(self._sender(host), name=f"bg-{host}")
+
+    def _sink(self, _packet) -> None:
+        self.packets_received += 1
+
+    def stop(self) -> None:
+        """Stop generating (in-flight packets still drain)."""
+        self._running = False
+
+    def _sender(self, host: int):
+        config = self.config
+        attachment = self._attachments[host]
+        rate_bps = self.fabric.config.latency.host_rate_bps
+        wire_time = (config.packet_bytes + 66) * 8 / rate_bps
+        while self._running:
+            # Burst of packets to one random peer...
+            peer = host
+            while peer == host:
+                peer = self.rng.choice(self.hosts)
+            burst = max(1, int(self.rng.expovariate(
+                1.0 / config.mean_burst_packets)))
+            for _ in range(burst):
+                packet = attachment.make_packet(
+                    peer, b"", payload_bytes=config.packet_bytes,
+                    traffic_class=config.traffic_class)
+                attachment.send(packet)
+                self.packets_sent += 1
+                yield self.env.timeout(wire_time)
+            # ... then idle long enough to hit the target utilization.
+            busy = burst * wire_time
+            idle_time = busy * (1.0 - config.utilization) \
+                / config.utilization
+            yield self.env.timeout(
+                idle_time * self.rng.uniform(0.5, 1.5))

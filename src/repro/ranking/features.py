@@ -1,0 +1,96 @@
+"""Feature vector assembly for (query, document) pairs.
+
+Combines the FSM (occurrence) features with the DP features and static
+document signals into a fixed-order numeric vector consumed by the
+machine-learned scorer.  The same function runs in "software" and inside
+the FFU/DPF role models — the hardware accelerates it, it does not change
+the math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .corpus import Document, Query
+from .dpf import DpFeatureEngine
+from .fsm import AhoCorasick, query_patterns
+
+#: Feature order of the assembled vector.
+FEATURE_NAMES: List[str] = [
+    "unigram_hits",          # total unigram occurrences
+    "unigram_coverage",      # fraction of query unigrams present
+    "bigram_hits",           # total bigram (phrase) occurrences
+    "first_hit_position",    # normalized position of earliest hit
+    "hit_density",           # hits per document term
+    "dp_alignment",
+    "dp_lcs",
+    "dp_min_window",
+    "dp_proximity",
+    "doc_length",            # log-ish scaled length
+    "doc_quality",           # static quality signal
+]
+
+NUM_FEATURES = len(FEATURE_NAMES)
+
+
+@dataclass
+class FeatureVector:
+    """A named, ordered feature vector."""
+
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != NUM_FEATURES:
+            raise ValueError(
+                f"expected {NUM_FEATURES} features, got {len(self.values)}")
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(zip(FEATURE_NAMES, self.values))
+
+    def __getitem__(self, index: int) -> float:
+        return self.values[index]
+
+
+class FeatureExtractor:
+    """Per-query extractor: builds the automaton once, scans documents."""
+
+    def __init__(self, query: Query):
+        self.query = query
+        self.patterns = query_patterns(query.terms)
+        self._num_unigrams = len(set(query.terms))
+        self.automaton = AhoCorasick(self.patterns)
+        self.dp_engine = DpFeatureEngine()
+
+    def extract(self, document: Document) -> FeatureVector:
+        stats = self.automaton.scan(document.terms)
+        unigram_indices = range(self._num_unigrams)
+        bigram_indices = range(self._num_unigrams, len(self.patterns))
+        unigram_hits = sum(stats.counts.get(i, 0) for i in unigram_indices)
+        covered = sum(1 for i in unigram_indices if stats.counts.get(i, 0))
+        bigram_hits = sum(stats.counts.get(i, 0) for i in bigram_indices)
+        if stats.first_positions:
+            first_hit = min(stats.first_positions.values()) / max(
+                1, document.length)
+        else:
+            first_hit = 1.0
+        density = (unigram_hits + bigram_hits) / max(1, document.length)
+        dp_values = self.dp_engine.compute(self.query.terms, document.terms)
+        values = [
+            float(unigram_hits),
+            covered / max(1, self._num_unigrams),
+            float(bigram_hits),
+            first_hit,
+            density,
+            dp_values.alignment_score,
+            float(dp_values.lcs_length),
+            float(dp_values.min_window or 0),
+            dp_values.proximity_score,
+            float(document.length) ** 0.5,
+            document.quality,
+        ]
+        return FeatureVector(values)
+
+    def extract_all(self, documents: Sequence[Document]) \
+            -> List[FeatureVector]:
+        return [self.extract(doc) for doc in documents]

@@ -1,0 +1,114 @@
+"""Finite-state-machine features (the paper's first feature class).
+
+"The first is the traditional finite state machines used in many search
+engines (e.g. 'count the number of occurrences of query term two')."
+
+The substrate is a real multi-pattern matcher: an Aho-Corasick automaton
+over term-id sequences.  Patterns are the query's unigrams and bigrams;
+running a document through the automaton yields occurrence counts and
+first-hit positions in a single pass — exactly the streaming behaviour
+the hardware FSMs exploit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class MatchStats:
+    """Aggregated automaton output for one document."""
+
+    #: pattern index -> number of occurrences.
+    counts: Dict[int, int] = field(default_factory=dict)
+    #: pattern index -> position (term offset) of first occurrence.
+    first_positions: Dict[int, int] = field(default_factory=dict)
+    #: total terms scanned.
+    scanned: int = 0
+
+
+class AhoCorasick:
+    """Aho-Corasick automaton over integer alphabets (term ids)."""
+
+    def __init__(self, patterns: Sequence[Sequence[int]]):
+        if not patterns:
+            raise ValueError("at least one pattern required")
+        self.patterns: List[Tuple[int, ...]] = [
+            tuple(p) for p in patterns]
+        for p in self.patterns:
+            if not p:
+                raise ValueError("empty pattern")
+        # goto is a list of dicts: state -> {symbol: state}.
+        self._goto: List[Dict[int, int]] = [{}]
+        self._fail: List[int] = [0]
+        self._output: List[List[int]] = [[]]
+        self._build()
+
+    def _build(self) -> None:
+        # Phase 1: trie.
+        for index, pattern in enumerate(self.patterns):
+            state = 0
+            for symbol in pattern:
+                nxt = self._goto[state].get(symbol)
+                if nxt is None:
+                    nxt = len(self._goto)
+                    self._goto.append({})
+                    self._fail.append(0)
+                    self._output.append([])
+                    self._goto[state][symbol] = nxt
+                state = nxt
+            self._output[state].append(index)
+        # Phase 2: failure links (BFS).
+        queue = deque()
+        for symbol, state in self._goto[0].items():
+            self._fail[state] = 0
+            queue.append(state)
+        while queue:
+            state = queue.popleft()
+            for symbol, nxt in self._goto[state].items():
+                queue.append(nxt)
+                fallback = self._fail[state]
+                while fallback and symbol not in self._goto[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[nxt] = self._goto[fallback].get(symbol, 0)
+                if self._fail[nxt] == nxt:
+                    self._fail[nxt] = 0
+                self._output[nxt] = self._output[nxt] + \
+                    self._output[self._fail[nxt]]
+        self.num_states = len(self._goto)
+
+    def step(self, state: int, symbol: int) -> int:
+        """One automaton transition."""
+        while state and symbol not in self._goto[state]:
+            state = self._fail[state]
+        return self._goto[state].get(symbol, 0)
+
+    def scan(self, text: Sequence[int]) -> MatchStats:
+        """Run ``text`` through the automaton, gathering match stats."""
+        stats = MatchStats()
+        state = 0
+        for position, symbol in enumerate(text):
+            state = self.step(state, symbol)
+            for pattern_index in self._output[state]:
+                stats.counts[pattern_index] = \
+                    stats.counts.get(pattern_index, 0) + 1
+                stats.first_positions.setdefault(pattern_index, position)
+        stats.scanned = len(text)
+        return stats
+
+
+def query_patterns(query_terms: Sequence[int]) -> List[Tuple[int, ...]]:
+    """Patterns the ranking FSMs track: unique unigrams then bigrams."""
+    patterns: List[Tuple[int, ...]] = []
+    seen = set()
+    for term in query_terms:
+        if (term,) not in seen:
+            patterns.append((term,))
+            seen.add((term,))
+    for a, b in zip(query_terms, query_terms[1:]):
+        if (a, b) not in seen:
+            patterns.append((a, b))
+            seen.add((a, b))
+    return patterns

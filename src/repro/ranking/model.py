@@ -1,0 +1,123 @@
+"""The machine-learned ranking model (software side).
+
+"...processed, and then passed to a machine learned model to determine how
+relevant the document is to the query."  In Catapult v2, unlike v1, the
+ML portion runs in *software*; here it is a small gradient-boosted
+ensemble of decision stumps trained with least-squares boosting —
+implemented from scratch, trainable on the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .features import NUM_FEATURES, FeatureVector
+
+
+@dataclass(frozen=True)
+class Stump:
+    """One regression stump: feature threshold -> left/right value."""
+
+    feature: int
+    threshold: float
+    left_value: float
+    right_value: float
+
+    def predict(self, features: FeatureVector) -> float:
+        if features[self.feature] <= self.threshold:
+            return self.left_value
+        return self.right_value
+
+
+class BoostedStumpModel:
+    """Least-squares gradient boosting over decision stumps."""
+
+    def __init__(self, num_rounds: int = 50, learning_rate: float = 0.3,
+                 thresholds_per_feature: int = 8,
+                 rng: Optional[random.Random] = None):
+        self.num_rounds = num_rounds
+        self.learning_rate = learning_rate
+        self.thresholds_per_feature = thresholds_per_feature
+        self.rng = rng or random.Random(0)
+        self.base_score = 0.0
+        self.stumps: List[Stump] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, features: Sequence[FeatureVector],
+            labels: Sequence[float]) -> "BoostedStumpModel":
+        if len(features) != len(labels) or not features:
+            raise ValueError("features/labels must be equal-length, non-empty")
+        n = len(features)
+        self.base_score = sum(labels) / n
+        predictions = [self.base_score] * n
+        for _ in range(self.num_rounds):
+            residuals = [labels[i] - predictions[i] for i in range(n)]
+            stump = self._best_stump(features, residuals)
+            if stump is None:
+                break
+            self.stumps.append(stump)
+            for i in range(n):
+                predictions[i] += self.learning_rate * \
+                    stump.predict(features[i])
+        return self
+
+    def _candidate_thresholds(self, features: Sequence[FeatureVector],
+                              feature: int) -> List[float]:
+        values = sorted({f[feature] for f in features})
+        if len(values) <= 1:
+            return []
+        step = max(1, len(values) // self.thresholds_per_feature)
+        return [values[i] for i in range(0, len(values) - 1, step)]
+
+    def _best_stump(self, features: Sequence[FeatureVector],
+                    residuals: List[float]) -> Optional[Stump]:
+        best: Optional[Tuple[float, Stump]] = None
+        n = len(features)
+        for feature in range(NUM_FEATURES):
+            for threshold in self._candidate_thresholds(features, feature):
+                left = [residuals[i] for i in range(n)
+                        if features[i][feature] <= threshold]
+                right = [residuals[i] for i in range(n)
+                         if features[i][feature] > threshold]
+                if not left or not right:
+                    continue
+                left_mean = sum(left) / len(left)
+                right_mean = sum(right) / len(right)
+                # Squared-error reduction of this split.
+                gain = len(left) * left_mean ** 2 \
+                    + len(right) * right_mean ** 2
+                if best is None or gain > best[0]:
+                    best = (gain, Stump(feature, threshold,
+                                        left_mean, right_mean))
+        return best[1] if best else None
+
+    # ------------------------------------------------------------------
+    def predict(self, features: FeatureVector) -> float:
+        score = self.base_score
+        for stump in self.stumps:
+            score += self.learning_rate * stump.predict(features)
+        return score
+
+    def rank(self, feature_vectors: Sequence[FeatureVector]) -> List[int]:
+        """Indices of documents, best first."""
+        scored = [(self.predict(fv), -i) for i, fv in
+                  enumerate(feature_vectors)]
+        scored.sort(reverse=True)
+        return [-neg_i for _score, neg_i in scored]
+
+
+def synthetic_relevance(query_terms: Sequence[int],
+                        doc_terms: Sequence[int], quality: float) -> float:
+    """Ground-truth relevance used to train/evaluate the model.
+
+    A smooth function of term overlap and quality — unknown to the model,
+    recoverable from the features.
+    """
+    if not doc_terms:
+        return 0.0
+    qset = set(query_terms)
+    hits = sum(1 for t in doc_terms if t in qset)
+    coverage = len(qset & set(doc_terms)) / max(1, len(qset))
+    return 2.0 * coverage + 5.0 * hits / len(doc_terms) + 0.5 * quality

@@ -1,0 +1,105 @@
+"""The five-day production study (paper Figs. 7 and 8).
+
+Two identically-sized datacenters run the ranking service over a five-day
+diurnal trace: one software-only, one FPGA-accelerated.  The software
+datacenter's load balancer "caps the incoming traffic when tail latencies
+begin exceeding acceptable thresholds", while the FPGA datacenter absorbs
+more than twice the offered load at latencies that "never exceed the
+software datacenter at any load".
+
+Each trace window is simulated with a short open-loop run at that
+window's offered load; the 99.9th-percentile latency per window is the
+quantity Fig. 7 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..workloads.diurnal import (
+    DiurnalTraceConfig,
+    apply_load_balancer_cap,
+    five_day_trace,
+)
+from .service import (
+    AccelerationMode,
+    RankingServiceConfig,
+    run_open_loop,
+    saturation_qps,
+)
+
+
+@dataclass
+class WindowResult:
+    """One trace window in one datacenter."""
+
+    time_days: float
+    offered_load: float      # normalized to software typical average
+    admitted_load: float     # after the software DC's balancer cap
+    p999_latency: float      # seconds
+    mean_latency: float
+
+
+@dataclass
+class FiveDayResult:
+    """Both datacenters over the full trace."""
+
+    software: List[WindowResult]
+    fpga: List[WindowResult]
+    #: The normalization constant: software p999 at typical load.
+    latency_target: float
+    #: qps corresponding to normalized load 1.0.
+    base_qps: float
+
+
+def run_five_day_study(trace_config: Optional[DiurnalTraceConfig] = None,
+                       queries_per_window: int = 250,
+                       software_cap: float = 1.35,
+                       seed: int = 0) -> FiveDayResult:
+    """Simulate Fig. 7: five days, two datacenters.
+
+    ``software_cap`` is the balancer's admitted-load ceiling for the
+    software datacenter, in normalized load units.
+    """
+    software_config = RankingServiceConfig(mode=AccelerationMode.SOFTWARE)
+    fpga_config = RankingServiceConfig(mode=AccelerationMode.LOCAL_FPGA)
+
+    # Normalized load 1.0 = the software DC's typical average: run it at
+    # a comfortable fraction of capacity.
+    base_qps = 0.72 * saturation_qps(software_config)
+
+    # Latency target: software p999 at typical load.
+    reference = run_open_loop(software_config, base_qps,
+                              num_queries=4 * queries_per_window,
+                              seed=seed)
+    latency_target = reference.latency.p999
+
+    trace = five_day_trace(trace_config)
+    software_rows: List[WindowResult] = []
+    fpga_rows: List[WindowResult] = []
+    for i, sample in enumerate(trace):
+        admitted = apply_load_balancer_cap(sample.software_offered,
+                                           software_cap)
+        sw = run_open_loop(software_config, admitted * base_qps,
+                           num_queries=queries_per_window,
+                           seed=seed + 2 * i)
+        software_rows.append(WindowResult(
+            time_days=sample.time_days,
+            offered_load=sample.software_offered,
+            admitted_load=admitted,
+            p999_latency=sw.latency.p999,
+            mean_latency=sw.latency.mean))
+
+        fp = run_open_loop(fpga_config, sample.fpga_offered * base_qps,
+                           num_queries=queries_per_window,
+                           seed=seed + 2 * i + 1)
+        fpga_rows.append(WindowResult(
+            time_days=sample.time_days,
+            offered_load=sample.fpga_offered,
+            admitted_load=sample.fpga_offered,
+            p999_latency=fp.latency.p999,
+            mean_latency=fp.latency.mean))
+    return FiveDayResult(software=software_rows, fpga=fpga_rows,
+                         latency_target=latency_target,
+                         base_qps=base_qps)

@@ -1,0 +1,188 @@
+"""Ranking service queueing simulation (paper §III-A, Figs. 6-8, 11).
+
+One :class:`RankingServer` models a production web-search ranking server:
+queries arrive, pass a software *pre* stage (parse + candidate selection),
+a *feature extraction* stage (software, local FPGA, or remote FPGA over
+LTL) and a software *post* stage (ML scoring).  Host cores are a counted
+resource; the FPGA role is a pipeline with a handful of concurrent query
+slots.
+
+The three modes reproduce the paper's three curves:
+
+* ``SOFTWARE`` — everything on cores (the baseline normalized to 1.0),
+* ``LOCAL_FPGA`` — features offloaded over PCIe; "the software portion of
+  ranking saturates the host server before the FPGA is saturated",
+* ``REMOTE_FPGA`` — features shipped over LTL to another server's FPGA;
+  adds only microseconds to millisecond-scale queries (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.metrics import LatencyRecorder
+from ..sim import Environment, Resource
+from .ffu import FfuConfig, FfuDpfRole, QueryWork, SoftwareTimingModel, \
+    WorkloadModel
+
+
+class AccelerationMode(enum.Enum):
+    SOFTWARE = "software"
+    LOCAL_FPGA = "local_fpga"
+    REMOTE_FPGA = "remote_fpga"
+
+
+@dataclass
+class RemoteAccessConfig:
+    """Cost of reaching a pooled FPGA over LTL (measured, Fig. 10)."""
+
+    round_trip: float = 2.9e-6           # same-TOR pool locality
+    ltl_bandwidth_bps: float = 38e9      # LTL goodput on the 40G port
+    per_message_overhead: float = 2.0e-6  # ER + packetization both ends
+
+
+@dataclass
+class RankingServiceConfig:
+    """Everything defining one ranking server's performance."""
+
+    mode: AccelerationMode = AccelerationMode.SOFTWARE
+    num_cores: int = 8
+    fpga_pipeline_slots: int = 4
+    workload: WorkloadModel = field(default_factory=WorkloadModel)
+    software: SoftwareTimingModel = field(
+        default_factory=SoftwareTimingModel)
+    ffu: FfuConfig = field(default_factory=FfuConfig)
+    remote: RemoteAccessConfig = field(default_factory=RemoteAccessConfig)
+
+
+class RankingServer:
+    """One server under a given acceleration mode."""
+
+    def __init__(self, env: Environment, config: RankingServiceConfig,
+                 rng: Optional[random.Random] = None):
+        self.env = env
+        self.config = config
+        self.rng = rng or random.Random(0)
+        self.cores = Resource(env, capacity=config.num_cores)
+        self.role = FfuDpfRole(config.ffu)
+        self.fpga_slots = Resource(env, capacity=config.fpga_pipeline_slots)
+        self.latency = LatencyRecorder("query")
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    def feature_stage_time(self, work: QueryWork) -> float:
+        """Feature-extraction service time in the configured mode."""
+        mode = self.config.mode
+        if mode is AccelerationMode.SOFTWARE:
+            return self.config.software.feature_time(work)
+        if mode is AccelerationMode.LOCAL_FPGA:
+            return self.role.local_service_time(work)
+        remote = self.config.remote
+        network = (remote.round_trip
+                   + work.document_bytes * 8 / remote.ltl_bandwidth_bps
+                   + remote.per_message_overhead)
+        return network + self.role.compute_time(work)
+
+    def handle_query(self, work: Optional[QueryWork] = None):
+        """Process: one query through pre -> features -> post."""
+        if work is None:
+            work = self.config.workload.sample(self.rng)
+        arrival = self.env.now
+        software = self.config.software
+
+        if self.config.mode is AccelerationMode.SOFTWARE:
+            # The owning thread runs all stages back to back.
+            with self.cores.request() as core:
+                yield core
+                yield self.env.timeout(software.pre_time(work)
+                                       + software.feature_time(work)
+                                       + software.post_time(work))
+        else:
+            with self.cores.request() as core:
+                yield core
+                yield self.env.timeout(software.pre_time(work))
+            # Core released while the FPGA does the heavy lifting.
+            with self.fpga_slots.request() as slot:
+                yield slot
+                yield self.env.timeout(self.feature_stage_time(work))
+            with self.cores.request() as core:
+                yield core
+                yield self.env.timeout(software.post_time(work))
+
+        self.completed += 1
+        latency = self.env.now - arrival
+        self.latency.record(latency)
+        return latency
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one open-loop run at a fixed arrival rate."""
+
+    offered_qps: float
+    achieved_qps: float
+    latency: LatencyRecorder
+
+    def row(self) -> Dict[str, float]:
+        summary = self.latency.summary()
+        summary["offered_qps"] = self.offered_qps
+        summary["achieved_qps"] = self.achieved_qps
+        return summary
+
+
+def run_open_loop(config: RankingServiceConfig, arrival_rate_qps: float,
+                  num_queries: int = 2000, seed: int = 0,
+                  warmup_fraction: float = 0.1) -> LoadResult:
+    """Drive one server with Poisson arrivals; collect steady-state latency.
+
+    The first ``warmup_fraction`` of completions is discarded.
+    """
+    env = Environment()
+    rng = random.Random(seed)
+    server = RankingServer(env, config, rng=random.Random(seed + 1))
+    finish_times: List[float] = []
+
+    def generator(env):
+        for _ in range(num_queries):
+            env.process(server.handle_query())
+            yield env.timeout(rng.expovariate(arrival_rate_qps))
+
+    env.process(generator(env))
+    env.run()
+    warmup = int(num_queries * warmup_fraction)
+    recorder = LatencyRecorder("steady-state")
+    recorder.extend(server.latency.samples[warmup:])
+    achieved = server.completed / env.now if env.now > 0 else 0.0
+    return LoadResult(offered_qps=arrival_rate_qps, achieved_qps=achieved,
+                      latency=recorder)
+
+
+def saturation_qps(config: RankingServiceConfig, seed: int = 0,
+                   num_queries: int = 1500) -> float:
+    """Estimate a mode's max sustainable throughput (capacity).
+
+    Closed-loop with enormous concurrency ~ work-conserving capacity.
+    """
+    env = Environment()
+    server = RankingServer(env, config, rng=random.Random(seed + 1))
+
+    def closed_loop(env):
+        for _ in range(num_queries):
+            env.process(server.handle_query())
+        yield env.timeout(0)
+
+    env.process(closed_loop(env))
+    env.run()
+    return server.completed / env.now
+
+
+def latency_vs_throughput(config: RankingServiceConfig,
+                          rates_qps: List[float], num_queries: int = 2000,
+                          seed: int = 0) -> List[LoadResult]:
+    """Sweep arrival rates, one open-loop run each (Fig. 6's x-axis)."""
+    return [run_open_loop(config, rate, num_queries=num_queries,
+                          seed=seed + i)
+            for i, rate in enumerate(rates_qps)]

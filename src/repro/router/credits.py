@@ -1,0 +1,137 @@
+"""Credit allocation policies for Elastic Router input buffers.
+
+Flow control is credit-based, one credit per flit.  The paper's design
+point: "Unlike a conventional router that allocates a static number of
+flits per VC, the ER supports an elastic policy that allows a pool of
+credits to be shared among multiple VCs, which is effective in reducing
+the aggregate flit buffering requirements."
+
+Two policies implement a common interface:
+
+* :class:`StaticCreditPool` — each VC owns ``total // num_vcs`` credits.
+* :class:`ElasticCreditPool` — each VC reserves a small minimum (to avoid
+  starvation/deadlock) and the remainder floats in a shared pool any VC
+  may borrow from.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class CreditError(Exception):
+    """Raised on credit protocol violations (double-free, over-acquire)."""
+
+
+class CreditPool:
+    """Interface: acquire/release one credit for a given VC."""
+
+    def try_acquire(self, vc: int) -> bool:
+        raise NotImplementedError
+
+    def release(self, vc: int) -> None:
+        raise NotImplementedError
+
+    def available(self, vc: int) -> int:
+        """Credits a new flit on ``vc`` could claim right now."""
+        raise NotImplementedError
+
+    @property
+    def in_use(self) -> int:
+        raise NotImplementedError
+
+
+class StaticCreditPool(CreditPool):
+    """Conventional fixed per-VC credit allocation."""
+
+    def __init__(self, total_credits: int, num_vcs: int):
+        if total_credits < num_vcs:
+            raise ValueError("need at least one credit per VC")
+        self.num_vcs = num_vcs
+        base, extra = divmod(total_credits, num_vcs)
+        self._capacity: List[int] = [
+            base + (1 if vc < extra else 0) for vc in range(num_vcs)]
+        self._used: List[int] = [0] * num_vcs
+
+    def try_acquire(self, vc: int) -> bool:
+        if self._used[vc] < self._capacity[vc]:
+            self._used[vc] += 1
+            return True
+        return False
+
+    def release(self, vc: int) -> None:
+        if self._used[vc] <= 0:
+            raise CreditError(f"release on idle VC {vc}")
+        self._used[vc] -= 1
+
+    def available(self, vc: int) -> int:
+        return self._capacity[vc] - self._used[vc]
+
+    @property
+    def in_use(self) -> int:
+        return sum(self._used)
+
+
+class ElasticCreditPool(CreditPool):
+    """Shared credit pool with a reserved minimum per VC.
+
+    A VC first consumes its reserved credits; beyond those it borrows from
+    the shared pool.  Releases return credits to wherever they came from
+    (reserved refills first).
+    """
+
+    def __init__(self, total_credits: int, num_vcs: int,
+                 reserved_per_vc: int = 1):
+        if reserved_per_vc < 1:
+            raise ValueError("each VC needs >= 1 reserved credit "
+                             "(deadlock avoidance)")
+        if total_credits < num_vcs * reserved_per_vc:
+            raise ValueError("total credits below reserved requirement")
+        self.num_vcs = num_vcs
+        self.reserved_per_vc = reserved_per_vc
+        self._reserved_used: List[int] = [0] * num_vcs
+        self._shared_capacity = total_credits - num_vcs * reserved_per_vc
+        self._shared_used = 0
+        #: Per-VC count of credits borrowed from the shared pool.
+        self._borrowed: List[int] = [0] * num_vcs
+
+    def try_acquire(self, vc: int) -> bool:
+        if self._reserved_used[vc] < self.reserved_per_vc:
+            self._reserved_used[vc] += 1
+            return True
+        if self._shared_used < self._shared_capacity:
+            self._shared_used += 1
+            self._borrowed[vc] += 1
+            return True
+        return False
+
+    def release(self, vc: int) -> None:
+        if self._borrowed[vc] > 0:
+            self._borrowed[vc] -= 1
+            self._shared_used -= 1
+        elif self._reserved_used[vc] > 0:
+            self._reserved_used[vc] -= 1
+        else:
+            raise CreditError(f"release on idle VC {vc}")
+
+    def available(self, vc: int) -> int:
+        reserved_left = self.reserved_per_vc - self._reserved_used[vc]
+        return reserved_left + (self._shared_capacity - self._shared_used)
+
+    @property
+    def in_use(self) -> int:
+        return sum(self._reserved_used) + self._shared_used
+
+    @property
+    def shared_in_use(self) -> int:
+        return self._shared_used
+
+
+def make_credit_pool(policy: str, total_credits: int, num_vcs: int,
+                     reserved_per_vc: int = 1) -> CreditPool:
+    """Factory keyed by policy name: ``"static"`` or ``"elastic"``."""
+    if policy == "static":
+        return StaticCreditPool(total_credits, num_vcs)
+    if policy == "elastic":
+        return ElasticCreditPool(total_credits, num_vcs, reserved_per_vc)
+    raise ValueError(f"unknown credit policy: {policy!r}")

@@ -1,0 +1,249 @@
+"""The Elastic Router: an input-buffered, credit-flow-controlled crossbar.
+
+Architecture per the paper (Section V-B):
+
+* N ports x V virtual channels; any port may send to any port, including
+  itself (U-turns are supported).
+* Input-buffered: flits wait in per-(input-port, VC) queues; credits (one
+  per flit) are granted by the input port's :class:`CreditPool`, which may
+  be *static* (fixed per VC) or *elastic* (shared pool).
+* Wormhole switching with per-VC output locking: once a head flit claims
+  an (output, VC) pair, body/tail flits of the same message hold it until
+  the tail passes, so messages never interleave within a VC.
+* One flit per input port and one flit per output port per cycle;
+  arbitration is round-robin per output for fairness.
+
+In the production image the ER runs at 175 MHz (Fig. 5); the default
+frequency matches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..sim import Environment, Event, Store
+from .credits import CreditPool, make_credit_pool
+from .flit import Flit, Message, packetize
+
+#: Clock frequency of the ER in the production-deployed image (Fig. 5).
+DEFAULT_FREQ_HZ = 175e6
+
+
+@dataclass
+class RouterStats:
+    """Counters aggregated over a router's lifetime."""
+
+    messages_injected: int = 0
+    messages_delivered: int = 0
+    flits_switched: int = 0
+    cycles: int = 0
+    injection_stall_cycles: int = 0
+    peak_buffer_occupancy: int = 0
+    per_vc_delivered: Dict[int, int] = field(default_factory=dict)
+
+
+class ElasticRouter:
+    """A single ER instance.
+
+    Endpoints attach a delivery callback per port via :meth:`set_endpoint`
+    and inject messages with :meth:`send` (an event the caller can yield
+    on, succeeding when the last flit has been accepted into the input
+    buffer) or fire-and-forget :meth:`inject`.
+    """
+
+    def __init__(self, env: Environment, name: str = "er",
+                 num_ports: int = 4, num_vcs: int = 2,
+                 flit_bytes: int = 32, freq_hz: float = DEFAULT_FREQ_HZ,
+                 credit_policy: str = "elastic",
+                 credits_per_port: int = 16, reserved_per_vc: int = 1):
+        if num_ports < 1:
+            raise ValueError("router needs at least one port")
+        if num_vcs < 1:
+            raise ValueError("router needs at least one VC")
+        self.env = env
+        self.name = name
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        self.flit_bytes = flit_bytes
+        self.cycle_time = 1.0 / freq_hz
+        self.credit_policy = credit_policy
+        self.stats = RouterStats()
+
+        self._credits: List[CreditPool] = [
+            make_credit_pool(credit_policy, credits_per_port, num_vcs,
+                             reserved_per_vc)
+            for _ in range(num_ports)]
+        # Input buffers: [port][vc] -> deque of flits.
+        self._buffers: List[List[Deque[Flit]]] = [
+            [deque() for _ in range(num_vcs)] for _ in range(num_ports)]
+        # Pending injections: [port] -> deque of (flit, done_event, remaining)
+        self._pending: List[Deque[Tuple[Flit, Event]]] = [
+            deque() for _ in range(num_ports)]
+        # Output (port, vc) -> (in_port, vc) holding the wormhole lock.
+        self._output_locks: Dict[Tuple[int, int],
+                                 Optional[Tuple[int, int]]] = {}
+        # Reassembly: (out_port, vc) -> list of flits received so far.
+        self._reassembly: Dict[Tuple[int, int], List[Flit]] = {}
+        self._endpoints: List[Optional[Callable[[Message], None]]] = \
+            [None] * num_ports
+        # Round-robin arbitration pointer per output port.
+        self._rr: List[int] = [0] * num_ports
+        self._wakeup = Store(env)
+        self._running = False
+        env.process(self._clock(), name=f"er:{name}")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def set_endpoint(self, port: int,
+                     deliver: Callable[[Message], None]) -> None:
+        """Attach the consumer of messages arriving at ``port``."""
+        self._check_port(port)
+        self._endpoints[port] = deliver
+
+    def send(self, src_port: int, dst_port: int, payload: Any,
+             length_bytes: int, vc: int = 0) -> Event:
+        """Inject a message; returns an event that succeeds once the last
+        flit has entered the input buffer (i.e. the sender may reuse its
+        staging space)."""
+        self._check_port(src_port)
+        self._check_port(dst_port)
+        if not 0 <= vc < self.num_vcs:
+            raise ValueError(f"vc {vc} out of range")
+        message = Message(src_port=src_port, dst_port=dst_port, vc=vc,
+                          payload=payload, length_bytes=length_bytes,
+                          injected_at=self.env.now)
+        flits = packetize(message, self.flit_bytes)
+        done = self.env.event()
+        for flit in flits:
+            self._pending[src_port].append((flit, done))
+        self.stats.messages_injected += 1
+        self._kick()
+        return done
+
+    def inject(self, src_port: int, dst_port: int, payload: Any,
+               length_bytes: int, vc: int = 0) -> Message:
+        """Fire-and-forget variant of :meth:`send`."""
+        event = self.send(src_port, dst_port, payload, length_bytes, vc)
+        event._defused = True
+        # The message object is reachable through the queued flits.
+        return self._pending[src_port][-1][0].message
+
+    def buffer_occupancy(self, port: int) -> int:
+        """Flits currently buffered at ``port`` across all VCs."""
+        return sum(len(q) for q in self._buffers[port])
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def _kick(self) -> None:
+        if not self._running and len(self._wakeup) == 0:
+            self._wakeup.put(None)
+
+    def _has_work(self) -> bool:
+        return any(self._pending) or any(
+            q for port in self._buffers for q in port)
+
+    def _clock(self):
+        while True:
+            if not self._has_work():
+                self._running = False
+                yield self._wakeup.get()
+                self._running = True
+            yield self.env.timeout(self.cycle_time)
+            self._step()
+
+    def _step(self) -> None:
+        """One router cycle: buffer injections, then switch allocation."""
+        self.stats.cycles += 1
+        self._admit_pending()
+        # Occupancy is sampled between admission and switch allocation —
+        # the instant buffers are fullest within a cycle.
+        occupancy = sum(self.buffer_occupancy(p)
+                        for p in range(self.num_ports))
+        if occupancy > self.stats.peak_buffer_occupancy:
+            self.stats.peak_buffer_occupancy = occupancy
+        self._allocate_and_switch()
+
+    def _admit_pending(self) -> None:
+        """Move at most one pending flit per port into its input buffer."""
+        for port in range(self.num_ports):
+            pending = self._pending[port]
+            if not pending:
+                continue
+            flit, done = pending[0]
+            if self._credits[port].try_acquire(flit.vc):
+                pending.popleft()
+                self._buffers[port][flit.vc].append(flit)
+                if flit.is_tail and not done.triggered:
+                    done.succeed()
+            else:
+                self.stats.injection_stall_cycles += 1
+
+    def _candidates_for_output(self, out_port: int):
+        """Yield (in_port, vc) pairs whose head-of-queue flit wants
+        ``out_port`` and is allowed to proceed."""
+        for in_port in range(self.num_ports):
+            for vc in range(self.num_vcs):
+                queue = self._buffers[in_port][vc]
+                if not queue:
+                    continue
+                flit = queue[0]
+                if flit.dst_port != out_port:
+                    continue
+                lock = self._output_locks.get((out_port, vc))
+                if flit.is_head:
+                    if lock is None:
+                        yield (in_port, vc)
+                elif lock == (in_port, vc):
+                    yield (in_port, vc)
+
+    def _allocate_and_switch(self) -> None:
+        inputs_used = set()
+        for out_port in range(self.num_ports):
+            candidates = [c for c in self._candidates_for_output(out_port)
+                          if c[0] not in inputs_used]
+            if not candidates:
+                continue
+            # Round-robin: rotate candidate order by the per-output pointer.
+            pointer = self._rr[out_port] % (self.num_ports * self.num_vcs)
+            candidates.sort(key=lambda c: (
+                (c[0] * self.num_vcs + c[1] - pointer)
+                % (self.num_ports * self.num_vcs)))
+            in_port, vc = candidates[0]
+            self._rr[out_port] = (in_port * self.num_vcs + vc + 1)
+            inputs_used.add(in_port)
+            self._move_flit(in_port, vc, out_port)
+
+    def _move_flit(self, in_port: int, vc: int, out_port: int) -> None:
+        flit = self._buffers[in_port][vc].popleft()
+        self._credits[in_port].release(vc)
+        self.stats.flits_switched += 1
+        if flit.is_head:
+            self._output_locks[(out_port, vc)] = (in_port, vc)
+        self._reassembly.setdefault((out_port, vc), []).append(flit)
+        if flit.is_tail:
+            self._output_locks[(out_port, vc)] = None
+            flits = self._reassembly.pop((out_port, vc))
+            self._deliver(out_port, vc, flits)
+
+    def _deliver(self, out_port: int, vc: int, flits: List[Flit]) -> None:
+        message = flits[0].message
+        if any(f.message is not message for f in flits):
+            raise RuntimeError(
+                f"{self.name}: interleaved messages on output "
+                f"({out_port}, vc {vc})")
+        message.delivered_at = self.env.now
+        self.stats.messages_delivered += 1
+        self.stats.per_vc_delivered[vc] = \
+            self.stats.per_vc_delivered.get(vc, 0) + 1
+        endpoint = self._endpoints[out_port]
+        if endpoint is not None:
+            endpoint(message)
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.num_ports:
+            raise ValueError(
+                f"port {port} out of range for {self.num_ports}-port router")

@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel underlying every simulated subsystem.
+
+Quick example::
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def pinger(env):
+        yield env.timeout(1.0)
+        return "pong"
+
+    proc = env.process(pinger(env))
+    env.run()
+    assert proc.value == "pong"
+"""
+
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .kernel import EmptySchedule, Environment
+from .randomness import RandomStreams, percentile
+from .resources import Container, PriorityStore, Resource, Store
+from .trace import TraceRecord, Tracer
+from . import units
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "percentile",
+    "units",
+]

@@ -1,0 +1,290 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel (:mod:`repro.sim.kernel`) advances virtual time by popping the
+earliest scheduled :class:`Event` from a heap and running its callbacks.
+Processes — Python generators that ``yield`` events — are resumed whenever
+the event they are waiting on succeeds or fails.
+
+The design intentionally mirrors a minimal SimPy: ``Environment.process``
+wraps a generator into a :class:`Process`, ``Environment.timeout`` creates a
+pre-scheduled :class:`Timeout`, and arbitrary events can be created, succeeded
+and failed by user code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .kernel import Environment
+
+#: Sentinel stored in :attr:`Event._value` while the event is still pending.
+PENDING = object()
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party supplies ``cause``, available on the exception.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A condition that may succeed (with a value) or fail (with an error).
+
+    Events move through three states: *pending* (just created), *triggered*
+    (scheduled on the event heap but callbacks not yet run) and *processed*
+    (callbacks executed).  Callbacks are plain callables receiving the event.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callbacks invoked (in order) when the event is processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled for processing."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (callbacks list is discarded)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded, False if it failed."""
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception carried by the event."""
+        if self._value is PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event as successful with an optional ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed, carrying ``exception``.
+
+        When a failed event is processed with no waiters the exception is
+        re-raised by the kernel unless a waiter marked it *defused*.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed delay in virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running coroutine of simulation events.
+
+    A process wraps a generator that yields :class:`Event` objects.  The
+    process itself is an event: it succeeds with the generator's return value
+    or fails with any uncaught exception, so processes can wait on each other.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when ready).
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator at the current simulation time.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated")
+        if self._target is None:
+            raise SimulationError(f"{self!r} is not waiting; cannot interrupt")
+        # Detach from the event currently waited on, then schedule a
+        # poisoned resumption.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        poison = Event(self.env)
+        poison.callbacks.append(self._resume)
+        poison._ok = False
+        poison._value = Interrupt(cause)
+        poison._defused = True
+        self.env.schedule(poison)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        self._target = None
+        try:
+            if event._ok:
+                result = self.generator.send(event._value)
+            else:
+                event._defused = True
+                result = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env.schedule(self)
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.env.schedule(self)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {result!r}")
+        if result.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            immediate = Event(self.env)
+            immediate._ok = result._ok
+            immediate._value = result._value
+            if not result._ok:
+                result._defused = True
+                immediate._defused = True
+            immediate.callbacks.append(self._resume)
+            self.env.schedule(immediate)
+            self._target = immediate
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+            if not result._ok and result.triggered:
+                result._defused = True
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class AnyOf(Event):
+    """Succeeds when any of the given events succeeds (or one fails)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, env: "Environment", events: List[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.callbacks is None:
+                self._on_child(event)
+                break
+            event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok:
+            # Only events whose callbacks have run count as "done":
+            # Timeout carries its value from creation, so `triggered`
+            # alone would wrongly include still-pending timeouts.
+            done = {e: e._value for e in self.events
+                    if (e.processed or e is event) and e._ok}
+            self.succeed(done)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+
+class AllOf(Event):
+    """Succeeds when all of the given events have succeeded."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: List[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._remaining = 0
+        for event in self.events:
+            if event.callbacks is None:
+                if not event._ok:
+                    event._defused = True
+                    self.fail(event._value)
+                    return
+                continue
+            self._remaining += 1
+            event.callbacks.append(self._on_child)
+        if self._remaining == 0 and not self.triggered:
+            self.succeed({e: e._value for e in self.events})
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e._value for e in self.events})

@@ -1,0 +1,164 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns virtual time and the event heap.  All simulated
+subsystems (network switches, LTL engines, FPGA roles, ranking servers)
+schedule work here.  Time units are **seconds** throughout the library;
+helpers for microseconds/nanoseconds live in :mod:`repro.sim.units`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, List, Optional
+
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    ProcessGenerator,
+    SimulationError,
+    Timeout,
+)
+
+#: Priority of normal events on the heap.
+NORMAL = 1
+#: Priority of urgent events (processed before normal ones at equal time).
+URGENT = 0
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    The environment keeps a heap of ``(time, priority, seq, event)`` tuples.
+    ``seq`` is a monotonically increasing tie-breaker so that events scheduled
+    at the same instant are processed in FIFO order, which keeps runs
+    deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between steps)."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Return the time of the next scheduled event, or ``inf``."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # ------------------------------------------------------------------
+    # Event creation
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event owned by this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that succeeds ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start a new process from a generator of events."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event succeeding when any of ``events`` succeeds."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event succeeding when all of ``events`` have succeeded."""
+        return AllOf(self, list(events))
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Place a triggered event on the heap ``delay`` seconds from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def step(self) -> None:
+        """Process the single next event; raise :class:`EmptySchedule` if none."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failed event nobody handled: surface the error.
+            raise event._value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run until
+        that simulation time) or an :class:`Event` (run until it triggers and
+        return its value).
+        """
+        if until is None:
+            stop_event = None
+            stop_time = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            stop_time = float("inf")
+            if stop_event.callbacks is None:
+                # Already processed.
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+        else:
+            stop_event = None
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until ({stop_time}) is in the past (now={self._now})")
+
+        if stop_event is not None:
+            done = []
+
+            def _mark(ev: Event) -> None:
+                done.append(ev)
+
+            stop_event.callbacks.append(_mark)
+            while not done:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise SimulationError(
+                        "simulation ended before the awaited event triggered"
+                    ) from None
+            if stop_event._ok:
+                return stop_event._value
+            stop_event._defused = True
+            raise stop_event._value
+
+        while self._queue and self.peek() <= stop_time:
+            self.step()
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,58 @@
+"""Deterministic random-number streams.
+
+Every stochastic component takes a :class:`RandomStreams` (or a stream drawn
+from one) so that whole-cloud simulations are reproducible from a single
+seed, and so that changing the amount of randomness one component consumes
+does not perturb any other component's draws.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """A registry of independent, named ``random.Random`` streams.
+
+    Streams are derived from the master seed and the stream name, so the
+    same (seed, name) pair always yields the same sequence regardless of
+    creation order.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream registered under ``name``."""
+        if name not in self._streams:
+            # Derive a child seed that depends on both master seed and name.
+            child_seed = hash((self.seed, name)) & 0xFFFFFFFFFFFF
+            self._streams[name] = random.Random(child_seed)
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Return a child registry namespaced under ``name``."""
+        child = RandomStreams(hash((self.seed, "spawn", name)) & 0xFFFFFFFF)
+        return child
+
+
+def percentile(sorted_values, q: float) -> float:
+    """Percentile (0..100) of a pre-sorted sequence, linear interpolation.
+
+    Kept here (not numpy) so hot simulation paths avoid array conversion for
+    small samples; large-sample analysis code uses numpy directly.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    n = len(sorted_values)
+    if n == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (n - 1)
+    lo = int(rank)
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return float(sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac)

@@ -1,0 +1,16 @@
+"""Catapult v1 6x8 torus baseline (paper §V-C / Fig. 10)."""
+
+from .network import (
+    HOP_JITTER_SECONDS,
+    HOP_LATENCY_SECONDS,
+    TorusLatencyModel,
+)
+from .topology import Coordinate, TorusTopology
+
+__all__ = [
+    "Coordinate",
+    "HOP_JITTER_SECONDS",
+    "HOP_LATENCY_SECONDS",
+    "TorusLatencyModel",
+    "TorusTopology",
+]

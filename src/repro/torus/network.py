@@ -1,0 +1,63 @@
+"""Torus latency model, calibrated to the paper's v1 measurements.
+
+"Nearest neighbor (1-hop) communication had a round-trip latency of
+approximately 1 us.  However, worst-case round-trip communication in the
+torus requires 7 usec" — the 6x8 torus diameter is 3 + 4 = 7 hops, i.e.
+~0.5 us per hop each way.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .topology import TorusTopology
+
+#: One-way per-hop latency on the dedicated SAS links.
+HOP_LATENCY_SECONDS = 0.5e-6
+#: Per-hop latency jitter (arbitration with passing traffic).
+HOP_JITTER_SECONDS = 0.02e-6
+
+
+@dataclass
+class TorusLatencyModel:
+    """Round-trip latency of FPGA-to-FPGA messages in the torus."""
+
+    topology: TorusTopology
+    hop_latency: float = HOP_LATENCY_SECONDS
+    hop_jitter: float = HOP_JITTER_SECONDS
+
+    def round_trip(self, src: int, dst: int,
+                   rng: Optional[random.Random] = None) -> Optional[float]:
+        """RTT seconds, or None if ``dst`` is unreachable from ``src``."""
+        hops = self.topology.hops(src, dst)
+        if hops is None:
+            return None
+        base = 2 * hops * self.hop_latency
+        if rng is not None and hops > 0:
+            base += sum(abs(rng.gauss(0.0, self.hop_jitter))
+                        for _ in range(2 * hops))
+        return base
+
+    def all_pair_round_trips(self, rng: Optional[random.Random] = None) \
+            -> List[float]:
+        """RTTs for every reachable ordered pair (Fig. 10's torus band)."""
+        out: List[float] = []
+        n = self.topology.num_nodes
+        for src in range(n):
+            if self.topology.is_failed(self.topology.coord(src)):
+                continue
+            for dst in range(n):
+                if dst == src:
+                    continue
+                rtt = self.round_trip(src, dst, rng)
+                if rtt is not None:
+                    out.append(rtt)
+        return out
+
+    def reachable_count(self, src: int) -> int:
+        """How many FPGAs ``src`` can reach (<= 47; shrinks on failures)."""
+        return sum(
+            1 for dst in range(self.topology.num_nodes)
+            if dst != src and self.topology.hops(src, dst) is not None)

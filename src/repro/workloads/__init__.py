@@ -1,0 +1,18 @@
+"""Workload generators: arrival processes and the five-day load trace."""
+
+from .arrivals import PoissonArrivals, closed_loop_arrivals
+from .diurnal import (
+    DiurnalTraceConfig,
+    LoadSample,
+    apply_load_balancer_cap,
+    five_day_trace,
+)
+
+__all__ = [
+    "DiurnalTraceConfig",
+    "LoadSample",
+    "PoissonArrivals",
+    "apply_load_balancer_cap",
+    "closed_loop_arrivals",
+    "five_day_trace",
+]

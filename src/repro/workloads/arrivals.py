@@ -1,0 +1,53 @@
+"""Arrival processes for open- and closed-loop load generation."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..sim import Environment
+
+
+class PoissonArrivals:
+    """Open-loop Poisson arrival process driving a submit callback."""
+
+    def __init__(self, env: Environment, rate_per_second: float,
+                 submit: Callable[[], None],
+                 rng: Optional[random.Random] = None,
+                 limit: Optional[int] = None):
+        if rate_per_second <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.env = env
+        self.rate = rate_per_second
+        self.submit = submit
+        self.rng = rng or random.Random(0)
+        self.limit = limit
+        self.generated = 0
+        env.process(self._run(), name="poisson-arrivals")
+
+    def _run(self):
+        while self.limit is None or self.generated < self.limit:
+            self.submit()
+            self.generated += 1
+            yield self.env.timeout(self.rng.expovariate(self.rate))
+
+
+def closed_loop_arrivals(env: Environment, concurrency: int,
+                         run_one: Callable[[], "object"],
+                         total: int):
+    """Spawn ``concurrency`` workers each looping ``run_one`` processes.
+
+    ``run_one`` must return a process-able generator.  Returns the list of
+    worker processes; completion when all have issued their share.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    share, extra = divmod(total, concurrency)
+
+    def worker(count: int):
+        for _ in range(count):
+            yield env.process(run_one())
+
+    return [env.process(worker(share + (1 if i < extra else 0)),
+                        name=f"closed-loop-{i}")
+            for i in range(concurrency)]

@@ -1,0 +1,81 @@
+"""The five-day production load trace (paper Fig. 7/8).
+
+Live search traffic follows a strong diurnal cycle with day-to-day
+variation and short-term noise.  The trace generator emits per-window
+offered-load multipliers (relative to the software datacenter's typical
+average load = 1.0), deterministic given a seed.
+
+The paper's software datacenter additionally runs "a dynamic load
+balancing mechanism that caps the incoming traffic when tail latencies
+begin exceeding acceptable thresholds" — modeled by the ``cap`` applied
+to the software DC's offered load, while the FPGA DC absorbs the full
+(higher) offered load.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class DiurnalTraceConfig:
+    """Shape of the five-day trace."""
+
+    days: int = 5
+    windows_per_day: int = 48          # 30-minute windows
+    base_load: float = 1.0             # software DC average = 1.0
+    #: Peak-to-trough ratio of the daily cycle.
+    daily_amplitude: float = 0.55
+    #: Peak hour (fraction of day, 0.58 ~ 2pm local).
+    peak_phase: float = 0.58
+    #: Day-to-day multiplicative drift.
+    day_jitter: float = 0.08
+    #: Window-level multiplicative noise.
+    window_noise: float = 0.05
+    #: Extra demand multiplier hitting the FPGA datacenter (it can take
+    #: more, so the balancer routes it more traffic).
+    fpga_demand_multiplier: float = 2.1
+    seed: int = 7
+
+
+@dataclass
+class LoadSample:
+    """One time window of the trace."""
+
+    day: int
+    window: int
+    time_days: float
+    software_offered: float
+    fpga_offered: float
+
+
+def five_day_trace(config: DiurnalTraceConfig | None = None) \
+        -> List[LoadSample]:
+    """Generate the five-day dual-datacenter offered-load trace."""
+    config = config or DiurnalTraceConfig()
+    rng = random.Random(config.seed)
+    samples: List[LoadSample] = []
+    for day in range(config.days):
+        day_scale = 1.0 + rng.gauss(0.0, config.day_jitter)
+        for window in range(config.windows_per_day):
+            frac = window / config.windows_per_day
+            # Diurnal cycle: cosine dip at night, peak at peak_phase.
+            cycle = 1.0 + config.daily_amplitude * math.cos(
+                2 * math.pi * (frac - config.peak_phase))
+            noise = 1.0 + rng.gauss(0.0, config.window_noise)
+            offered = config.base_load * day_scale * cycle * noise
+            offered = max(0.1, offered)
+            samples.append(LoadSample(
+                day=day, window=window,
+                time_days=day + frac,
+                software_offered=offered,
+                fpga_offered=offered * config.fpga_demand_multiplier))
+    return samples
+
+
+def apply_load_balancer_cap(offered: float, cap: float) -> float:
+    """The software DC's protective cap on admitted load."""
+    return min(offered, cap)

@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_no_args_lists_registry(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main([])
+        output = buffer.getvalue()
+        assert code == 0
+        assert "E1" in output and "E10" in output
+        assert "Fig. 10" in output
+
+    def test_unknown_id_errors(self, capsys):
+        code = main(["E99"])
+        assert code == 2
+
+    def test_runs_power_experiment(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(["E10"])
+        output = buffer.getvalue()
+        assert code == 0
+        assert "power_virus_w" in output
+        assert "within_tdp: True" in output
+
+    def test_runs_area_experiment_rows(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(["E1"])
+        output = buffer.getvalue()
+        assert code == 0
+        assert "Total Area Used" in output
+        assert "131350" in output or "131,350" in output

@@ -1,0 +1,83 @@
+"""AES correctness against FIPS-197 vectors."""
+
+import pytest
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX
+
+
+class TestSbox:
+    def test_known_entries(self):
+        # FIPS-197 table values.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_is_inverse(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestFips197:
+    PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_aes128_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ct = AES(key).encrypt_block(self.PT)
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_aes192_appendix_c2(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f1011121314151617")
+        ct = AES(key).encrypt_block(self.PT)
+        assert ct.hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_aes256_appendix_c3(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f"
+                            "101112131415161718191a1b1c1d1e1f")
+        ct = AES(key).encrypt_block(self.PT)
+        assert ct.hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+    def test_fips197_example_key(self):
+        # The worked example in FIPS-197 section B.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        assert AES(key).encrypt_block(pt).hex() == \
+            "3925841d02dc09fbdc118597196a0b32"
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_decrypt_inverts_encrypt(self, key_len):
+        key = bytes(range(key_len))
+        cipher = AES(key)
+        for i in range(5):
+            block = bytes((i * 17 + j) % 256 for j in range(16))
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_distinct_blocks_distinct_ciphertexts(self):
+        cipher = AES(bytes(16))
+        a = cipher.encrypt_block(bytes(16))
+        b = cipher.encrypt_block(b"\x01" + bytes(15))
+        assert a != b
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES(bytes(15))
+
+    def test_bad_block_length(self):
+        cipher = AES(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(15))
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(bytes(17))
+
+    def test_round_counts(self):
+        assert AES(bytes(16)).rounds == 10
+        assert AES(bytes(24)).rounds == 12
+        assert AES(bytes(32)).rounds == 14

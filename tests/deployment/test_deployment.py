@@ -1,0 +1,102 @@
+"""Tests for the §II-B deployment/reliability study."""
+
+import pytest
+
+from repro.deployment import (
+    FLEET_SIZE,
+    Fleet,
+    MirroredTrafficStudy,
+    OBSERVATION_DAYS,
+    RANKING_SERVERS,
+    expected_report,
+)
+
+
+class TestExpectedReport:
+    """Mean counts at paper scale must equal the paper's observations."""
+
+    def test_paper_scale_means(self):
+        expected = expected_report()
+        assert expected["fpga_hard_failures"] == pytest.approx(2.0)
+        assert expected["cable_failures"] == pytest.approx(1.0)
+        assert expected["pcie_training_failures"] == pytest.approx(5.0)
+        assert expected["dram_calibration_failures"] == pytest.approx(8.0)
+        assert expected["seu_flips"] == pytest.approx(
+            FLEET_SIZE * OBSERVATION_DAYS / 1025)
+
+    def test_scaling_with_fleet(self):
+        small = expected_report(fleet_size=576, days=30)
+        assert small["fpga_hard_failures"] == pytest.approx(0.2)
+
+
+class TestMirroredTrafficStudy:
+    def test_deterministic(self):
+        a = MirroredTrafficStudy(seed=3).run()
+        b = MirroredTrafficStudy(seed=3).run()
+        assert a.as_dict() == b.as_dict()
+
+    def test_counts_near_expectations(self):
+        """Average of many sampled deployments ~ paper's counts."""
+        reports = [MirroredTrafficStudy(seed=s).run() for s in range(30)]
+        mean_hard = sum(r.fpga_hard_failures for r in reports) / 30
+        mean_dram = sum(r.dram_calibration_failures for r in reports) / 30
+        mean_seu = sum(r.seu_flips for r in reports) / 30
+        assert mean_hard == pytest.approx(2.0, abs=1.0)
+        assert mean_dram == pytest.approx(8.0, abs=2.5)
+        assert mean_seu == pytest.approx(168.6, rel=0.1)
+
+    def test_seu_mean_days_near_1025(self):
+        report = MirroredTrafficStudy(seed=0).run()
+        assert report.seu_mean_days_between_flips == pytest.approx(
+            1025, rel=0.35)
+
+    def test_hangs_recovered(self):
+        report = MirroredTrafficStudy(seed=1).run()
+        assert report.seu_recoveries == report.seu_role_hangs
+
+    def test_report_dict_keys(self):
+        report = MirroredTrafficStudy(seed=0).run()
+        data = report.as_dict()
+        assert data["fleet_size"] == FLEET_SIZE
+        assert "seu_mean_days_between_flips" in data
+
+
+class TestFleet:
+    def test_burn_in_approves_fleet(self):
+        fleet = Fleet(size=600, seed=0)
+        results = fleet.run_burn_in()
+        assert len(results) == 600
+        summary_approved = sum(1 for r in results if r.approved)
+        # 'The servers all passed': power variation keeps draw within
+        # the 35 W electrical limit.
+        assert summary_approved == 600
+
+    def test_power_draw_below_electrical_limit(self):
+        fleet = Fleet(size=300, seed=1)
+        results = fleet.run_burn_in()
+        assert max(r.power_virus_w for r in results) < 35.0
+
+    def test_bring_up_failures_sampled(self):
+        fleet = Fleet(size=FLEET_SIZE, seed=2)
+        fleet.run_burn_in()
+        summary = fleet.summary()
+        # Binomial(5760, 5/5760) and (5760, 8/5760): loose bounds.
+        assert 0 <= summary["pcie_training_failures"] <= 15
+        assert 1 <= summary["dram_calibration_failures"] <= 20
+
+    def test_deploy_ranking_takes_3081(self):
+        fleet = Fleet(size=FLEET_SIZE, seed=3)
+        fleet.run_burn_in()
+        servers = fleet.deploy_ranking()
+        assert len(servers) == RANKING_SERVERS
+
+    def test_deploy_before_burn_in_rejected(self):
+        with pytest.raises(RuntimeError):
+            Fleet(size=10).deploy_ranking(5)
+
+    def test_dram_failures_marked_repaired(self):
+        fleet = Fleet(size=FLEET_SIZE, seed=4)
+        results = fleet.run_burn_in()
+        failed = [r for r in results if not r.dram_calibrated_first_try]
+        assert all(r.dram_repaired_by_reconfig for r in failed)
+        assert all(r.approved for r in failed)  # repaired, still shipped

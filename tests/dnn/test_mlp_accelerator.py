@@ -1,0 +1,107 @@
+"""Tests for the MLP substrate and DNN accelerator timing."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.dnn.accelerator import DnnAccelerator, DnnAcceleratorConfig
+from repro.dnn.mlp import Mlp, relu, softmax, synthetic_classification
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.array_equal(relu(x), [0.0, 0.0, 2.0])
+
+    def test_softmax_sums_to_one(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_softmax_stable_for_large_inputs(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.all(np.isfinite(probs))
+
+
+class TestMlp:
+    def test_forward_shape(self):
+        mlp = Mlp([16, 32, 4])
+        out = mlp.forward(np.zeros((5, 16)))
+        assert out.shape == (5, 4)
+
+    def test_forward_rows_are_distributions(self):
+        mlp = Mlp([8, 16, 3], seed=1)
+        out = mlp.forward(np.random.default_rng(0).normal(size=(7, 8)))
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_parameter_count(self):
+        mlp = Mlp([4, 8, 2])
+        assert mlp.parameter_count == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_madds(self):
+        mlp = Mlp([4, 8, 2])
+        assert mlp.madds_per_inference == 4 * 8 + 8 * 2
+
+    def test_training_reduces_loss(self):
+        x, labels = synthetic_classification(400, num_features=8,
+                                             num_classes=3, seed=0)
+        mlp = Mlp([8, 24, 3], seed=0)
+        losses = mlp.fit(x, labels, epochs=20, seed=0)
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_trained_model_accuracy(self):
+        x, labels = synthetic_classification(600, num_features=8,
+                                             num_classes=3, seed=1)
+        mlp = Mlp([8, 24, 3], seed=1)
+        mlp.fit(x, labels, epochs=30, seed=1)
+        accuracy = float(np.mean(mlp.predict(x) == labels))
+        assert accuracy > 0.85
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(ValueError):
+            Mlp([8])
+
+    def test_forward_matches_manual_reference(self):
+        mlp = Mlp([2, 3, 2], seed=5)
+        x = np.array([[0.5, -0.2]])
+        h = np.maximum(x @ mlp.weights[0] + mlp.biases[0], 0.0)
+        logits = h @ mlp.weights[1] + mlp.biases[1]
+        expected = np.exp(logits - logits.max())
+        expected /= expected.sum()
+        assert np.allclose(mlp.forward(x), expected)
+
+
+class TestAccelerator:
+    def test_mean_service_time_formula(self):
+        config = DnnAcceleratorConfig(clock_hz=100e6, madds_per_cycle=1000,
+                                      per_request_overhead=10e-6)
+        accel = DnnAccelerator(config, madds_per_inference=1_000_000)
+        assert accel.mean_service_time == pytest.approx(10e-6 + 10e-6)
+
+    def test_capacity_is_inverse_service(self):
+        accel = DnnAccelerator()
+        assert accel.capacity_rps == pytest.approx(
+            1.0 / accel.mean_service_time)
+
+    def test_sampled_times_positive_and_near_mean(self):
+        accel = DnnAccelerator()
+        rng = random.Random(0)
+        samples = [accel.sample_service_time(rng) for _ in range(2000)]
+        assert all(s > 0 for s in samples)
+        assert sum(samples) / len(samples) == pytest.approx(
+            accel.mean_service_time, rel=0.05)
+
+    def test_madds_inferred_from_model(self):
+        mlp = Mlp([16, 64, 4])
+        accel = DnnAccelerator(model=mlp)
+        assert accel.madds_per_inference == mlp.madds_per_inference
+
+    def test_infer_requires_model(self):
+        with pytest.raises(RuntimeError):
+            DnnAccelerator().infer(np.zeros(4))
+
+    def test_infer_runs_real_model(self):
+        mlp = Mlp([4, 8, 2], seed=0)
+        accel = DnnAccelerator(model=mlp)
+        out = accel.infer(np.zeros((1, 4)))
+        assert out.shape == (1, 2)

@@ -1,0 +1,111 @@
+"""Tests for the PCIe DMA engine and DDR3 controller models."""
+
+import random
+
+import pytest
+
+from repro.fpga.ddr import DdrConfig, DdrController
+from repro.fpga.pcie import PcieConfig, PcieDmaEngine
+from repro.sim import Environment
+
+
+class TestPcie:
+    def test_transfer_time_scales(self):
+        engine = PcieDmaEngine(Environment())
+        assert engine.transfer_time(1 << 20) > engine.transfer_time(1 << 10)
+
+    def test_small_transfer_dominated_by_setup(self):
+        engine = PcieDmaEngine(Environment())
+        assert engine.transfer_time(64) == pytest.approx(
+            engine.config.setup_latency, rel=0.02)
+
+    def test_effective_bandwidth_below_raw(self):
+        engine = PcieDmaEngine(Environment())
+        assert engine.effective_bandwidth_bytes < \
+            engine.spec.pcie_bandwidth_per_link_bytes
+
+    def test_dma_process_advances_time_and_counts(self):
+        env = Environment()
+        engine = PcieDmaEngine(env)
+        env.process(engine.dma(1 << 20))
+        env.run()
+        assert env.now == pytest.approx(engine.transfer_time(1 << 20))
+        assert engine.transfers == 1
+        assert engine.bytes_moved == 1 << 20
+
+    def test_outstanding_limit_serializes(self):
+        env = Environment()
+        engine = PcieDmaEngine(
+            env, config=PcieConfig(max_outstanding=1))
+        for _ in range(3):
+            env.process(engine.dma(1 << 20))
+        env.run()
+        assert env.now == pytest.approx(
+            3 * engine.transfer_time(1 << 20), rel=0.01)
+
+    def test_negative_size_rejected(self):
+        engine = PcieDmaEngine(Environment())
+        with pytest.raises(ValueError):
+            engine.transfer_time(-1)
+
+
+class TestDdr:
+    def test_access_before_calibration_rejected(self):
+        env = Environment()
+        ddr = DdrController(env)
+        with pytest.raises(RuntimeError):
+            env.process(ddr.read(64))
+            env.run()
+
+    def test_calibration_then_read(self):
+        env = Environment()
+        ddr = DdrController(env, rng=random.Random(1))
+
+        def flow(env):
+            ok = yield from ddr.calibrate()
+            assert ok
+            yield from ddr.read(4096)
+            yield from ddr.write(4096)
+
+        env.process(flow(env))
+        env.run()
+        assert ddr.reads == 1 and ddr.writes == 1
+        assert ddr.bytes_moved == 8192
+
+    def test_calibration_failure_rate(self):
+        """~8 in 5760 attempts fail (the §II-B logic bug)."""
+        env = Environment()
+        config = DdrConfig(calibration_time=0.0)
+        failures = 0
+        rng = random.Random(42)
+        for _ in range(5760):
+            ddr = DdrController(env, config=config, rng=rng)
+            gen = ddr.calibrate()
+            try:
+                next(gen)
+                while True:
+                    gen.send(None)
+            except StopIteration:
+                pass
+            failures += ddr.calibration_failures
+        # Binomial(5760, 8/5760): expect ~8, allow wide slack.
+        assert 1 <= failures <= 25
+
+    def test_effective_bandwidth_below_peak(self):
+        ddr = DdrController(Environment())
+        assert ddr.effective_bandwidth_bytes < \
+            ddr.spec.dram_peak_bandwidth_bytes
+
+    def test_streaming_time_scales_with_size(self):
+        env = Environment()
+        ddr = DdrController(env)
+        ddr.calibrated = True
+        env.process(ddr.read(1 << 22))
+        env.run()
+        big = env.now
+        env2 = Environment()
+        ddr2 = DdrController(env2)
+        ddr2.calibrated = True
+        env2.process(ddr2.read(1 << 12))
+        env2.run()
+        assert big > env2.now

@@ -1,0 +1,42 @@
+"""Unit tests for lease bookkeeping."""
+
+import pytest
+
+from repro.haas import Constraints, Lease, LeaseState
+
+
+def make_lease(granted_at=0.0, duration=100.0):
+    return Lease(service="svc", hosts=[1, 2],
+                 constraints=Constraints(count=2),
+                 granted_at=granted_at, duration=duration)
+
+
+class TestLease:
+    def test_unique_ids(self):
+        assert make_lease().lease_id != make_lease().lease_id
+
+    def test_active_window(self):
+        lease = make_lease(granted_at=10.0, duration=50.0)
+        assert lease.expires_at == 60.0
+        assert lease.is_active(now=10.0)
+        assert lease.is_active(now=59.9)
+        assert not lease.is_active(now=60.0)
+
+    def test_inactive_states(self):
+        lease = make_lease()
+        for state in (LeaseState.RELEASED, LeaseState.REVOKED,
+                      LeaseState.EXPIRED):
+            lease.state = state
+            assert not lease.is_active(now=1.0)
+
+    def test_renew_resets_clock(self):
+        lease = make_lease(granted_at=0.0, duration=100.0)
+        lease.renew(now=80.0)
+        assert lease.expires_at == 180.0
+        assert lease.is_active(now=150.0)
+
+    def test_renew_of_dead_lease_rejected(self):
+        lease = make_lease()
+        lease.state = LeaseState.REVOKED
+        with pytest.raises(ValueError):
+            lease.renew(now=1.0)

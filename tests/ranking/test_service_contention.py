@@ -1,0 +1,71 @@
+"""Contention-focused tests on the ranking service's FPGA stage."""
+
+import pytest
+
+from repro.ranking import (
+    AccelerationMode,
+    RankingServiceConfig,
+    run_open_loop,
+    saturation_qps,
+)
+
+
+class TestFpgaSlotContention:
+    def test_fewer_slots_lower_capacity_when_fpga_bound(self):
+        """A slow, single-slot role makes the FPGA the bottleneck
+        instead of the host cores."""
+        from repro.ranking import FfuConfig
+        slow_role = FfuConfig(fsm_lanes=2, dp_cells_per_cycle=512)
+        plenty = RankingServiceConfig(mode=AccelerationMode.LOCAL_FPGA,
+                                      ffu=slow_role,
+                                      fpga_pipeline_slots=8)
+        starved = RankingServiceConfig(mode=AccelerationMode.LOCAL_FPGA,
+                                       ffu=slow_role,
+                                       fpga_pipeline_slots=1)
+        assert saturation_qps(starved) < saturation_qps(plenty)
+
+    def test_default_config_is_core_bound(self):
+        """The paper's observation: 'the software portion of ranking
+        saturates the host server before the FPGA is saturated' — so
+        adding FPGA slots beyond the default changes nothing."""
+        default = RankingServiceConfig(mode=AccelerationMode.LOCAL_FPGA)
+        extra = RankingServiceConfig(mode=AccelerationMode.LOCAL_FPGA,
+                                     fpga_pipeline_slots=16)
+        assert saturation_qps(extra) == pytest.approx(
+            saturation_qps(default), rel=0.05)
+
+    def test_remote_latency_dominated_by_compute_not_network(self):
+        """At ms-scale queries, the LTL hop is lost in the noise."""
+        remote = RankingServiceConfig(mode=AccelerationMode.REMOTE_FPGA)
+        server_rate = 0.3 * saturation_qps(remote)
+        result = run_open_loop(remote, server_rate, num_queries=500)
+        network_floor = remote.remote.round_trip \
+            + remote.remote.per_message_overhead
+        assert result.latency.mean > 50 * network_floor
+
+
+class TestWorkloadSensitivity:
+    def test_bigger_candidate_sets_cost_more(self):
+        from repro.ranking import WorkloadModel
+        small = RankingServiceConfig(
+            mode=AccelerationMode.SOFTWARE,
+            workload=WorkloadModel(mean_docs=100))
+        large = RankingServiceConfig(
+            mode=AccelerationMode.SOFTWARE,
+            workload=WorkloadModel(mean_docs=400))
+        assert saturation_qps(large) < saturation_qps(small)
+
+    def test_acceleration_gain_grows_with_feature_share(self):
+        """The heavier the feature stage, the more the FPGA helps."""
+        from repro.ranking import SoftwareTimingModel
+
+        def gain(fsm_cost):
+            software = SoftwareTimingModel(
+                fsm_seconds_per_term=fsm_cost)
+            sw = RankingServiceConfig(mode=AccelerationMode.SOFTWARE,
+                                      software=software)
+            fp = RankingServiceConfig(mode=AccelerationMode.LOCAL_FPGA,
+                                      software=software)
+            return saturation_qps(fp) / saturation_qps(sw)
+
+        assert gain(6.0e-9) > gain(1.5e-9)

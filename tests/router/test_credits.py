@@ -1,0 +1,124 @@
+"""Tests for static and elastic credit pools."""
+
+import pytest
+
+from repro.router.credits import (
+    CreditError,
+    ElasticCreditPool,
+    StaticCreditPool,
+    make_credit_pool,
+)
+
+
+class TestStaticCreditPool:
+    def test_even_split(self):
+        pool = StaticCreditPool(total_credits=8, num_vcs=2)
+        assert pool.available(0) == 4
+        assert pool.available(1) == 4
+
+    def test_uneven_split_distributes_remainder(self):
+        pool = StaticCreditPool(total_credits=5, num_vcs=2)
+        assert pool.available(0) + pool.available(1) == 5
+
+    def test_vc_cannot_exceed_its_share(self):
+        pool = StaticCreditPool(total_credits=4, num_vcs=2)
+        assert pool.try_acquire(0)
+        assert pool.try_acquire(0)
+        assert not pool.try_acquire(0)   # VC 0 exhausted
+        assert pool.try_acquire(1)       # VC 1 unaffected
+
+    def test_release_restores(self):
+        pool = StaticCreditPool(total_credits=2, num_vcs=2)
+        assert pool.try_acquire(0)
+        assert not pool.try_acquire(0)
+        pool.release(0)
+        assert pool.try_acquire(0)
+
+    def test_release_idle_vc_raises(self):
+        pool = StaticCreditPool(total_credits=2, num_vcs=2)
+        with pytest.raises(CreditError):
+            pool.release(0)
+
+    def test_requires_credit_per_vc(self):
+        with pytest.raises(ValueError):
+            StaticCreditPool(total_credits=1, num_vcs=2)
+
+    def test_in_use_accounting(self):
+        pool = StaticCreditPool(total_credits=4, num_vcs=2)
+        pool.try_acquire(0)
+        pool.try_acquire(1)
+        assert pool.in_use == 2
+
+
+class TestElasticCreditPool:
+    def test_vc_can_borrow_beyond_reservation(self):
+        pool = ElasticCreditPool(total_credits=8, num_vcs=2,
+                                 reserved_per_vc=1)
+        # VC 0 can take its 1 reserved + all 6 shared = 7.
+        taken = 0
+        while pool.try_acquire(0):
+            taken += 1
+        assert taken == 7
+
+    def test_reservation_protects_other_vc(self):
+        pool = ElasticCreditPool(total_credits=8, num_vcs=2,
+                                 reserved_per_vc=1)
+        while pool.try_acquire(0):
+            pass
+        # VC 1's reserved credit is still there: no starvation.
+        assert pool.try_acquire(1)
+        assert not pool.try_acquire(1)
+
+    def test_release_returns_borrowed_to_shared(self):
+        pool = ElasticCreditPool(total_credits=6, num_vcs=2,
+                                 reserved_per_vc=1)
+        for _ in range(5):  # 1 reserved + 4 shared
+            assert pool.try_acquire(0)
+        assert pool.shared_in_use == 4
+        pool.release(0)
+        assert pool.shared_in_use == 3
+        assert pool.try_acquire(1)  # reserved
+        assert pool.try_acquire(1)  # shared, returned by VC 0
+
+    def test_release_idle_raises(self):
+        pool = ElasticCreditPool(total_credits=4, num_vcs=2)
+        with pytest.raises(CreditError):
+            pool.release(1)
+
+    def test_reserved_minimum_required(self):
+        with pytest.raises(ValueError):
+            ElasticCreditPool(total_credits=1, num_vcs=2)
+        with pytest.raises(ValueError):
+            ElasticCreditPool(total_credits=4, num_vcs=2,
+                              reserved_per_vc=0)
+
+    def test_elastic_beats_static_for_bursty_single_vc(self):
+        """The paper's design point: with the same total buffering, an
+        elastic pool gives one busy VC far more credits than a static
+        split."""
+        total, vcs = 16, 4
+        static = StaticCreditPool(total, vcs)
+        elastic = ElasticCreditPool(total, vcs, reserved_per_vc=1)
+        static_burst = 0
+        while static.try_acquire(0):
+            static_burst += 1
+        elastic_burst = 0
+        while elastic.try_acquire(0):
+            elastic_burst += 1
+        assert static_burst == 4
+        assert elastic_burst == 13
+        assert elastic_burst > 3 * static_burst
+
+
+class TestFactory:
+    def test_factory_static(self):
+        assert isinstance(make_credit_pool("static", 8, 2),
+                          StaticCreditPool)
+
+    def test_factory_elastic(self):
+        assert isinstance(make_credit_pool("elastic", 8, 2),
+                          ElasticCreditPool)
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError):
+            make_credit_pool("magic", 8, 2)

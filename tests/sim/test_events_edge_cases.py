@@ -1,0 +1,162 @@
+"""Edge cases on Event/AnyOf/AllOf and error handling."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+class TestEventLifecycle:
+    def test_double_succeed_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+        event._defused = True
+        env.run()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_event_value_carried(self):
+        env = Environment()
+
+        def proc(env):
+            event = env.event()
+            event.succeed({"k": 1})
+            result = yield event
+            return result
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == {"k": 1}
+
+    def test_failed_event_waited_by_process(self):
+        env = Environment()
+
+        def proc(env):
+            event = env.event()
+            event.fail(RuntimeError("expected"))
+            try:
+                yield event
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "caught expected"
+
+    def test_unwaited_failed_event_raises_at_step(self):
+        env = Environment()
+        event = env.event()
+        event.fail(ValueError("nobody caught me"))
+        with pytest.raises(ValueError):
+            env.run()
+
+
+class TestAnyOfAllOfFailures:
+    def test_any_of_fails_if_child_fails_first(self):
+        env = Environment()
+
+        def proc(env):
+            bad = env.event()
+            bad.fail(RuntimeError("child failed"))
+            slow = env.timeout(10.0)
+            try:
+                yield env.any_of([bad, slow])
+            except RuntimeError:
+                return "propagated"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "propagated"
+
+    def test_all_of_fails_fast(self):
+        env = Environment()
+
+        def proc(env):
+            fast_fail = env.timeout(1.0)
+            never = env.event()
+            composite = env.all_of([fast_fail, never])
+
+            def poison(env):
+                yield env.timeout(0.5)
+                never.fail(RuntimeError("boom"))
+
+            env.process(poison(env))
+            try:
+                yield composite
+            except RuntimeError:
+                return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.5
+
+    def test_any_of_empty_succeeds_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            result = yield env.any_of([])
+            return result
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == {}
+
+    def test_all_of_with_pre_completed_events(self):
+        env = Environment()
+        done1 = env.event()
+        done1.succeed("a")
+        env.run()  # process it
+
+        def proc(env):
+            result = yield env.all_of([done1, env.timeout(1.0, "b")])
+            return sorted(str(v) for v in result.values())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ["a", "b"]
+
+
+class TestRunEdgeCases:
+    def test_run_until_never_triggered_event_raises(self):
+        env = Environment()
+        env.timeout(1.0)
+        orphan = env.event()
+        with pytest.raises(SimulationError,
+                           match="ended before the awaited"):
+            env.run(until=orphan)
+
+    def test_run_until_failed_event_reraises(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            raise KeyError("inside")
+
+        p = env.process(proc(env))
+        with pytest.raises(KeyError):
+            env.run(until=p)
+
+    def test_run_until_already_processed_event(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        p = env.process(proc(env))
+        env.run()
+        assert env.run(until=p) == "done"

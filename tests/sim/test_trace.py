@@ -1,0 +1,75 @@
+"""Tests for the execution tracer."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.trace import Tracer
+
+
+def busy_program(env, steps=5):
+    def proc(env):
+        for _ in range(steps):
+            yield env.timeout(1.0)
+
+    env.process(proc(env), name="busy")
+
+
+class TestTracer:
+    def test_records_processed_events(self):
+        env = Environment()
+        tracer = Tracer(env)
+        busy_program(env)
+        env.run()
+        assert len(tracer.records) > 0
+        assert tracer.counts["Timeout"] >= 5
+
+    def test_does_not_change_semantics(self):
+        plain = Environment()
+        busy_program(plain)
+        plain.run()
+
+        traced = Environment()
+        Tracer(traced)
+        busy_program(traced)
+        traced.run()
+        assert traced.now == plain.now
+
+    def test_capacity_bounds_memory(self):
+        env = Environment()
+        tracer = Tracer(env, capacity=10)
+        busy_program(env, steps=50)
+        env.run()
+        assert len(tracer.records) == 10
+
+    def test_uninstall_stops_recording(self):
+        env = Environment()
+        tracer = Tracer(env)
+        busy_program(env, steps=2)
+        env.run()
+        seen = len(tracer.records)
+        tracer.uninstall()
+        busy_program(env, steps=3)
+        env.run()
+        assert len(tracer.records) == seen
+        tracer.uninstall()  # idempotent
+
+    def test_since_filters_by_time(self):
+        env = Environment()
+        tracer = Tracer(env)
+        busy_program(env, steps=4)
+        env.run()
+        late = tracer.since(3.0)
+        assert late
+        assert all(r.time >= 3.0 for r in late)
+
+    def test_summary_histogram(self):
+        env = Environment()
+        tracer = Tracer(env)
+        busy_program(env)
+        env.run()
+        summary = tracer.summary()
+        assert summary.get("Timeout", 0) >= 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(Environment(), capacity=0)

@@ -1,0 +1,102 @@
+"""Tests for unit helpers and deterministic random streams."""
+
+import pytest
+
+from repro.sim import RandomStreams, percentile
+from repro.sim.units import (
+    GB,
+    Gbps,
+    KB,
+    MB,
+    US,
+    cycles_to_seconds,
+    seconds_to_us,
+    serialization_delay,
+    us_to_seconds,
+)
+
+
+class TestUnits:
+    def test_serialization_delay_40g(self):
+        # 1500 B at 40 Gb/s = 300 ns.
+        assert serialization_delay(1500, 40e9) == pytest.approx(300e-9)
+
+    def test_serialization_delay_zero_bytes(self):
+        assert serialization_delay(0, 40e9) == 0.0
+
+    def test_serialization_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            serialization_delay(100, 0)
+
+    def test_us_roundtrip(self):
+        assert seconds_to_us(us_to_seconds(3.5)) == pytest.approx(3.5)
+
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(300e6, 300e6) == pytest.approx(1.0)
+
+    def test_cycles_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(100, 0)
+
+    def test_size_constants(self):
+        assert KB == 1024 and MB == KB ** 2 and GB == KB ** 3
+
+    def test_rate_constants(self):
+        assert Gbps == 1e9 and US == 1e-6
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(seed=7).stream("x")
+        b = RandomStreams(seed=7).stream("x")
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(seed=7)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(seed=0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RandomStreams(seed=3)
+        s1.stream("first")
+        value1 = s1.stream("second").random()
+        s2 = RandomStreams(seed=3)
+        value2 = s2.stream("second").random()
+        assert value1 == value2
+
+    def test_spawn_namespaces(self):
+        parent = RandomStreams(seed=1)
+        child_a = parent.spawn("a")
+        child_b = parent.spawn("b")
+        assert child_a.stream("x").random() != child_b.stream("x").random()
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 99) == 5.0
+
+    def test_median_of_two(self):
+        assert percentile([1.0, 3.0], 50) == 2.0
+
+    def test_extremes(self):
+        data = sorted([3.0, 1.0, 2.0])
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 3.0
+
+    def test_interpolation(self):
+        data = [0.0, 10.0]
+        assert percentile(data, 25) == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
