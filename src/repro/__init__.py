@@ -14,6 +14,7 @@ The package is organized bottom-up:
 * :mod:`repro.ranking` — Bing ranking acceleration (Figs. 6-8, 11),
 * :mod:`repro.dnn` — pooled DNN accelerators (Fig. 12),
 * :mod:`repro.haas` — Hardware-as-a-Service control plane,
+* :mod:`repro.faults` — deterministic fault-injection campaigns,
 * :mod:`repro.deployment` — the 5,760-server reliability study,
 * :mod:`repro.core` — the :class:`~repro.core.cloud.ConfigurableCloud`
   facade tying everything together.
@@ -25,6 +26,8 @@ paper-vs-measured results of every figure and table.
 from .core.cloud import ConfigurableCloud
 from .core.metrics import LatencyRecorder
 from .core.server import Server
+from .faults import (CampaignConfig, FaultEvent, FaultInjector, FaultKind,
+                     generate_campaign)
 from .fpga.shell import Shell, ShellConfig
 from .ltl.engine import LtlConfig, LtlEngine, connect_pair
 from .net.fabric import DatacenterFabric
@@ -35,10 +38,14 @@ from .sim.kernel import Environment
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignConfig",
     "ConfigurableCloud",
     "DatacenterFabric",
     "ElasticRouter",
     "Environment",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
     "LatencyRecorder",
     "LtlConfig",
     "LtlEngine",
@@ -47,5 +54,6 @@ __all__ = [
     "ShellConfig",
     "TopologyConfig",
     "connect_pair",
+    "generate_campaign",
     "__version__",
 ]

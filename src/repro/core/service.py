@@ -29,10 +29,12 @@ class HardwareService:
         self.name = name
         self.sm = ServiceManager(cloud.env, name, cloud.resource_manager,
                                  image, constraints)
+        self.sm.on_component_replaced = self._on_replacement
         self.sm.grow(components)
         self._clients: Dict[int, Server] = {}
         self.requests_sent = 0
         self.failovers = 0
+        self.gray_reports = 0
 
     # ------------------------------------------------------------------
     @property
@@ -59,6 +61,7 @@ class HardwareService:
             self.cloud.connect(server.host_index, host)
         server.shell.on_remote_failure = lambda host: \
             self._on_remote_failure(server, host)
+        server.shell.on_remote_degraded = self._on_remote_degraded
 
     def request(self, client: Server, payload: Any,
                 length_bytes: int, role: int = 0) -> int:
@@ -85,9 +88,30 @@ class HardwareService:
         except KeyError:
             return
         if manager.health.value != "failed":
-            manager.mark_failed()  # triggers SM replacement via RM
-        # Re-install the handler on any replacement members and connect
-        # existing clients to them.
+            # Soft declaration: the FM monitor rehabilitates the node if
+            # the cause turns out to be transient (flap, gray episode);
+            # the RM quarantine keeps it benched meanwhile.
+            manager.mark_failed(
+                f"LTL timeouts reported by client {client.host_index}",
+                hard=False)  # triggers SM replacement via RM
+        self._sync_members()
+
+    def _on_remote_degraded(self, suspect_host: int) -> None:
+        """A client's LTL saw repeated timeouts: report the member gray."""
+        self.gray_reports += 1
+        try:
+            manager = self.cloud.resource_manager.manager(suspect_host)
+        except KeyError:
+            return
+        manager.report_gray()
+
+    def _on_replacement(self, _lease) -> None:
+        """SM re-acquired a lost component (possibly after retries)."""
+        self._sync_members()
+
+    def _sync_members(self) -> None:
+        """Re-install the handler on any replacement members and connect
+        existing clients to them."""
         handler = getattr(self, "_handler", None)
         for host in self.hosts:
             if handler is not None:

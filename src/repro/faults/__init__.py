@@ -1,0 +1,26 @@
+"""Datacenter fault injection (paper §II-B failure taxonomy).
+
+Deterministic, seedable chaos campaigns against a live
+:class:`~repro.core.cloud.ConfigurableCloud`, plus the observation
+machinery that stamps when each injected fault was detected and
+recovered by the system's own defenses (LTL checksums/retransmission,
+FPGA Manager health monitoring, RM quarantine + lease expiry, SM
+replacement retry).
+"""
+
+from .campaign import (CampaignConfig, FaultEvent, FaultKind,
+                       SECONDS_PER_DAY, TRANSIENT_KINDS,
+                       generate_campaign)
+from .injector import FaultInjector, InjectionRecord, InjectorStats
+
+__all__ = [
+    "CampaignConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "InjectionRecord",
+    "InjectorStats",
+    "SECONDS_PER_DAY",
+    "TRANSIENT_KINDS",
+    "generate_campaign",
+]

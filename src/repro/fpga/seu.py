@@ -69,6 +69,18 @@ class SeuScrubber:
         env.process(self._flip_injector(), name="seu-injector")
         env.process(self._scrub_loop(), name="seu-scrubber")
 
+    def inject_flip(self, role_hang: bool = False) -> SeuEvent:
+        """Force one upset now (fault-injection hook); returns the event."""
+        event = SeuEvent(occurred_at=self.env.now)
+        self.stats.flips += 1
+        if role_hang:
+            event.caused_role_hang = True
+            self.role_hung = True
+            self.stats.role_hangs += 1
+        self.events.append(event)
+        self._pending.append(event)
+        return event
+
     def _flip_injector(self):
         while True:
             wait = self.rng.expovariate(

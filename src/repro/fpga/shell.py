@@ -160,12 +160,16 @@ class Shell:
             self.ltl.transport = FabricLtlTransport(self)
             self.ltl.on_message = self._ltl_message_in
             self.ltl.on_connection_failed = self._remote_failed
+            self.ltl.on_connection_degraded = self._remote_degraded
         self._send_conns: Dict[int, int] = {}  # dst host -> send conn id
         #: Called with the remote host index when LTL declares it failed
         #: ("timeouts can also be used to identify failing nodes quickly,
         #: if ultra-fast reprovisioning of a replacement is critical") —
         #: HaaS service managers hook this to trigger replacement.
         self.on_remote_failure: Optional[Callable[[int], None]] = None
+        #: Called with the remote host index when LTL suspects the remote
+        #: is gray (slow) — repeated timeouts short of failure.
+        self.on_remote_degraded: Optional[Callable[[int], None]] = None
 
         # Board subsystems.
         self.pcie = [PcieDmaEngine(env, self.board.spec, name=f"pcie{i}")
@@ -313,8 +317,16 @@ class Shell:
         elif role == 0 and self.role_receive is not None:
             self.role_receive(payload, length_bytes)
 
-    def _remote_failed(self, _connection_id: int, remote_host: int) -> None:
-        # Drop the cached connection so a later reprovision can rebuild.
+    def _remote_failed(self, connection_id: int, remote_host: int) -> None:
+        # Drop the cached connection and free its table entry so a later
+        # reprovision rebuilds it — HaaS re-establishes at the connect_to
+        # level, so no connection stays permanently failed.
         self._send_conns.pop(remote_host, None)
+        if self.ltl is not None and connection_id in self.ltl.send_table:
+            self.ltl.close_send_connection(connection_id)
         if self.on_remote_failure is not None:
             self.on_remote_failure(remote_host)
+
+    def _remote_degraded(self, _connection_id: int, remote_host: int) -> None:
+        if self.on_remote_degraded is not None:
+            self.on_remote_degraded(remote_host)

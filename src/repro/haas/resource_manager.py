@@ -21,6 +21,10 @@ from .leases import Lease, LeaseState
 
 #: Default lease duration (control-plane heartbeat scale, not data plane).
 DEFAULT_LEASE_SECONDS = 300.0
+#: How long a recently-failed host sits out before it can be leased again
+#: — a flapping node must prove itself stable, not bounce straight back
+#: into a service.
+DEFAULT_QUARANTINE_SECONDS = 60.0
 
 
 class AllocationError(Exception):
@@ -34,6 +38,7 @@ class RmStats:
     revocations: int = 0
     failed_acquires: int = 0
     expirations: int = 0
+    quarantines: int = 0
 
 
 class ResourceManager:
@@ -41,10 +46,14 @@ class ResourceManager:
 
     def __init__(self, env: Environment, topology: ThreeTierTopology,
                  lease_duration: float = DEFAULT_LEASE_SECONDS,
-                 sweep_period: float = 30.0):
+                 sweep_period: float = 30.0,
+                 quarantine_seconds: float = DEFAULT_QUARANTINE_SECONDS):
         self.env = env
         self.topology = topology
         self.lease_duration = lease_duration
+        self.quarantine_seconds = quarantine_seconds
+        #: host -> time until which it may not be re-leased.
+        self._quarantine_until: Dict[int, float] = {}
         self.stats = RmStats()
         self._managers: Dict[int, FpgaManager] = {}
         self._leases: Dict[int, Lease] = {}
@@ -79,10 +88,18 @@ class ResourceManager:
     # Pool queries
     # ------------------------------------------------------------------
     def free_hosts(self) -> List[int]:
+        now = self.env.now
         return [
             host for host, fm in self._managers.items()
             if host not in self._allocation
-            and fm.health is FpgaHealth.HEALTHY]
+            and fm.health is FpgaHealth.HEALTHY
+            and self._quarantine_until.get(host, 0.0) <= now]
+
+    def in_quarantine(self, host: int) -> bool:
+        return self._quarantine_until.get(host, 0.0) > self.env.now
+
+    def is_allocated(self, host: int) -> bool:
+        return host in self._allocation
 
     @property
     def pool_size(self) -> int:
@@ -143,6 +160,11 @@ class ResourceManager:
     # Failure / expiry
     # ------------------------------------------------------------------
     def _on_node_failure(self, host: int) -> None:
+        # Quarantine first, evict second: the replacement acquire running
+        # inside the revocation handler must not pick the failed host.
+        self._quarantine_until[host] = \
+            self.env.now + self.quarantine_seconds
+        self.stats.quarantines += 1
         self._evict(host)
 
     def _evict(self, host: int) -> None:

@@ -10,12 +10,12 @@ pointers to the hardware service to one or more end users."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..fpga.reconfig import Image
 from ..sim import Environment
 from .constraints import Constraints
-from .leases import Lease
+from .leases import Lease, LeaseState
 from .resource_manager import AllocationError, ResourceManager
 
 
@@ -31,7 +31,9 @@ class ServiceManager:
     """Administers one hardware service on leased components."""
 
     def __init__(self, env: Environment, name: str, rm: ResourceManager,
-                 image: Image, constraints: Optional[Constraints] = None):
+                 image: Image, constraints: Optional[Constraints] = None,
+                 retry_backoff: float = 0.5,
+                 retry_backoff_max: float = 60.0):
         self.env = env
         self.name = name
         self.rm = rm
@@ -40,8 +42,18 @@ class ServiceManager:
         self.stats = SmStats()
         self.leases: List[Lease] = []
         self._rr = 0
-        #: Components the SM failed to replace (pool exhausted).
+        #: Components the SM has not yet managed to replace (pool
+        #: exhausted); a background loop keeps retrying with exponential
+        #: backoff until the pool frees up.
         self.pending_replacements = 0
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
+        self._retry_loop_active = False
+        #: Called with the replacement lease after a lost component is
+        #: re-acquired — services hook this to rewire connectivity.
+        self.on_component_replaced: Optional[Callable[[Lease], None]] = None
+        #: Heartbeats are skipped until this time (control-plane stalls).
+        self.heartbeat_suspended_until = 0.0
 
     # ------------------------------------------------------------------
     # Capacity management
@@ -97,23 +109,65 @@ class ServiceManager:
         if lease in self.leases:
             self.leases.remove(lease)
         self.stats.components_lost += 1
+        if not self._try_replace():
+            self.pending_replacements += 1
+            self._ensure_retry_loop()
+
+    def _try_replace(self) -> bool:
         try:
             replacement = self.rm.acquire(
                 self.name, self.constraints, on_revoked=self._on_revoked)
         except AllocationError:
-            self.pending_replacements += 1
-            return
+            return False
         self.leases.append(replacement)
         self.stats.replacements += 1
         for host in replacement.hosts:
             self.env.process(
                 self.rm.manager(host).configure(self.image),
                 name=f"sm-{self.name}-reconfigure-{host}")
+        if self.on_component_replaced is not None:
+            self.on_component_replaced(replacement)
+        return True
+
+    def _ensure_retry_loop(self) -> None:
+        if self._retry_loop_active:
+            return
+        self._retry_loop_active = True
+        self.env.process(self._retry_replacements(),
+                         name=f"sm-{self.name}-retry")
+
+    def _retry_replacements(self):
+        """Background exponential-backoff retry of pending replacements."""
+        backoff = self.retry_backoff
+        try:
+            while self.pending_replacements > 0:
+                yield self.env.timeout(backoff)
+                while self.pending_replacements > 0 and self._try_replace():
+                    self.pending_replacements -= 1
+                    backoff = self.retry_backoff
+                if self.pending_replacements > 0:
+                    backoff = min(backoff * 2, self.retry_backoff_max)
+        finally:
+            self._retry_loop_active = False
 
     def renew_all(self) -> None:
-        """Heartbeat: keep all component leases alive."""
-        for lease in self.leases:
-            self.rm.renew(lease)
+        """Heartbeat: keep all ACTIVE component leases alive.
+
+        Leases the RM already revoked or expired are skipped — renewing
+        them would raise and kill the heartbeat process.
+        """
+        for lease in list(self.leases):
+            if lease.state is not LeaseState.ACTIVE:
+                continue
+            try:
+                self.rm.renew(lease)
+            except KeyError:
+                continue  # revoked between the state check and the renew
+
+    def suspend_heartbeat(self, duration: float) -> None:
+        """Stall the control plane: skip heartbeats for ``duration``."""
+        self.heartbeat_suspended_until = max(
+            self.heartbeat_suspended_until, self.env.now + duration)
 
     def start_heartbeat(self, period: Optional[float] = None) -> None:
         """Renew leases periodically (default: half the lease duration)."""
@@ -125,6 +179,8 @@ class ServiceManager:
         def beat(env):
             while True:
                 yield env.timeout(period)
+                if env.now < self.heartbeat_suspended_until:
+                    continue
                 self.renew_all()
 
         self.env.process(beat(self.env), name=f"sm-{self.name}-heartbeat")

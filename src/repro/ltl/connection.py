@@ -54,9 +54,17 @@ class SendConnectionState:
     #: Consecutive timeout events with no forward progress.
     consecutive_timeouts: int = 0
     failed: bool = False
+    #: Whether a degraded (gray) report was already emitted for the
+    #: current run of timeouts; reset on forward progress.
+    degraded_reported: bool = False
+    #: Reconnect probes issued since the connection failed.
+    reconnect_attempts: int = 0
+    #: Earliest time the next reconnect probe may go out.
+    reconnect_at: float = 0.0
     # statistics
     frames_sent: int = 0
     retransmissions: int = 0
+    recoveries: int = 0
     rtt_samples: List[float] = field(default_factory=list)
 
     @property
@@ -87,6 +95,7 @@ class SendConnectionState:
         if freed:
             self.acked_seq = max(self.acked_seq, ack_seq)
             self.consecutive_timeouts = 0
+            self.degraded_reported = False
         return freed
 
 

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..net.dcqcn import CnpGenerator, DcqcnConfig, DcqcnRateController
 from ..sim import Environment, Store
 from .connection import (
+    ConnectionError_,
     ConnectionTable,
     PendingMessage,
     ReceiveConnectionState,
@@ -78,6 +79,22 @@ class LtlConfig:
     congestion_control: bool = True
     #: Optional cap on this engine's injection bandwidth (bits/second).
     rate_limit_bps: Optional[float] = None
+    #: Verify the per-frame CRC on receive; corrupt frames are dropped and
+    #: recovered by the normal NACK/timeout path.
+    verify_checksums: bool = True
+    #: Keep probing failed connections so they re-establish once the peer
+    #: comes back, instead of staying permanently failed.
+    reconnect: bool = True
+    #: Initial interval between reconnect probes (doubles per attempt).
+    reconnect_backoff: float = 200e-6
+    #: Cap on the reconnect probe interval.
+    reconnect_backoff_max: float = 5e-3
+    #: Consecutive timeouts at which ``on_connection_degraded`` fires —
+    #: the gray-failure early-warning.  ``None`` derives it from
+    #: ``max_consecutive_timeouts``.
+    degraded_timeouts: Optional[int] = None
+    #: Cap on buffered out-of-order frames per receive connection.
+    reorder_buffer_frames: int = 256
 
 
 @dataclass
@@ -97,6 +114,10 @@ class LtlStats:
     duplicates_dropped: int = 0
     rate_limited_drops: int = 0
     connections_failed: int = 0
+    connections_recovered: int = 0
+    corrupt_dropped: int = 0
+    reconnect_probes: int = 0
+    reorder_drops: int = 0
 
 
 class LtlEngine:
@@ -120,6 +141,14 @@ class LtlEngine:
             Callable[[int, Any, int], None]] = None
         #: Called with (connection_id, remote_host) on connection failure.
         self.on_connection_failed: Optional[
+            Callable[[int, int], None]] = None
+        #: Called with (connection_id, remote_host) when a connection looks
+        #: gray — repeated timeouts short of outright failure.
+        self.on_connection_degraded: Optional[
+            Callable[[int, int], None]] = None
+        #: Called with (connection_id, remote_host) when a failed
+        #: connection's reconnect probe is ACKed and traffic resumes.
+        self.on_connection_recovered: Optional[
             Callable[[int, int], None]] = None
         self.limiter: Optional[BandwidthLimiter] = None
         if self.config.rate_limit_bps is not None:
@@ -165,6 +194,9 @@ class LtlEngine:
 
     def close_receive_connection(self, connection_id: int) -> None:
         self.recv_table.deallocate(connection_id)
+        # Drop NACK bookkeeping with the connection, or churned lease ids
+        # accumulate here forever.
+        self._nack_outstanding.pop(connection_id, None)
 
     # ------------------------------------------------------------------
     # Send path
@@ -264,13 +296,25 @@ class LtlEngine:
     # ------------------------------------------------------------------
     # Retransmission timer
     # ------------------------------------------------------------------
+    @property
+    def _degraded_threshold(self) -> int:
+        cfg = self.config
+        if cfg.degraded_timeouts is not None:
+            return cfg.degraded_timeouts
+        return max(2, cfg.max_consecutive_timeouts // 2)
+
     def _retransmit_timer(self):
         cfg = self.config
         while True:
             yield self.env.timeout(cfg.timer_period)
             now = self.env.now
             for state in list(self.send_table.values()):
-                if state.failed or not state.unacked:
+                if state.failed:
+                    if cfg.reconnect and state.unacked \
+                            and now >= state.reconnect_at:
+                        self._probe(state, now)
+                    continue
+                if not state.unacked:
                     continue
                 # Mild exponential backoff (capped at 4x): congestion-
                 # induced ACK delay must not trigger a retransmission
@@ -284,13 +328,35 @@ class LtlEngine:
                 if state.consecutive_timeouts > cfg.max_consecutive_timeouts:
                     self._fail_connection(state)
                     continue
+                if state.consecutive_timeouts >= self._degraded_threshold \
+                        and not state.degraded_reported:
+                    state.degraded_reported = True
+                    if self.on_connection_degraded is not None:
+                        self.on_connection_degraded(
+                            state.connection_id, state.remote_host)
                 # Conservative go-back-one: resend only the oldest frame;
                 # the cumulative ACK it elicits re-opens the window.
                 oldest = next(iter(state.unacked.values()))
                 self._transmit(state, oldest.frame, retransmission=True)
 
+    def _probe(self, state: SendConnectionState, now: float) -> None:
+        """Reconnect attempt: resend the oldest frame of a failed
+        connection.  An ACK freeing frames un-fails it (see
+        :meth:`_handle_ack`)."""
+        state.reconnect_attempts += 1
+        self.stats.reconnect_probes += 1
+        backoff = min(
+            self.config.reconnect_backoff
+            * (1 << min(state.reconnect_attempts - 1, 8)),
+            self.config.reconnect_backoff_max)
+        state.reconnect_at = now + backoff
+        oldest = next(iter(state.unacked.values()))
+        self._transmit(state, oldest.frame, retransmission=True)
+
     def _fail_connection(self, state: SendConnectionState) -> None:
         state.failed = True
+        state.reconnect_attempts = 0
+        state.reconnect_at = self.env.now + self.config.reconnect_backoff
         self.stats.connections_failed += 1
         if self.on_connection_failed is not None:
             self.on_connection_failed(state.connection_id, state.remote_host)
@@ -301,6 +367,12 @@ class LtlEngine:
     def receive_frame(self, frame: LtlFrame, ecn_marked: bool = False,
                       src_host: Optional[int] = None) -> None:
         """Entry point from the transport (already past the MAC)."""
+        if self.config.verify_checksums and not frame.verify_checksum():
+            # Corrupt on the wire: drop silently.  The sender's NACK/
+            # timeout machinery retransmits; no corrupt payload is ever
+            # delivered to a role.
+            self.stats.corrupt_dropped += 1
+            return
         self.env.process(
             self._receive(frame, ecn_marked), name=f"{self.name}:rx")
 
@@ -320,9 +392,19 @@ class LtlEngine:
         try:
             state: SendConnectionState = self.send_table.lookup(
                 frame.connection_id)
-        except Exception:
+        except ConnectionError_:
             return  # stale ACK for a deallocated connection
-        state.apply_ack(frame.ack_seq, self.env.now)
+        freed = state.apply_ack(frame.ack_seq, self.env.now)
+        if state.failed and freed:
+            # A reconnect probe got through: the peer is back.
+            state.failed = False
+            state.reconnect_attempts = 0
+            state.reconnect_at = 0.0
+            state.recoveries += 1
+            self.stats.connections_recovered += 1
+            if self.on_connection_recovered is not None:
+                self.on_connection_recovered(
+                    state.connection_id, state.remote_host)
         if frame.congestion_flag and self.config.congestion_control:
             state.dcqcn.on_cnp(self.env.now)
         self._kick()
@@ -332,7 +414,7 @@ class LtlEngine:
         try:
             state: SendConnectionState = self.send_table.lookup(
                 frame.connection_id)
-        except Exception:
+        except ConnectionError_:
             return
         lo, hi = nack_range(frame)
         for seq in range(lo, hi + 1):
@@ -345,7 +427,7 @@ class LtlEngine:
         try:
             state: ReceiveConnectionState = self.recv_table.lookup(
                 frame.connection_id)
-        except Exception:
+        except ConnectionError_:
             return
         state.frames_received += 1
         congestion = False
@@ -360,9 +442,14 @@ class LtlEngine:
             self._send_ack(state, congestion)
             return
         if frame.seq > state.expected_seq:
-            # Reordering detected: buffer and NACK the gap once.
+            # Reordering detected: buffer and NACK the gap once.  The
+            # buffer is bounded like the hardware's SRAM store; overflow
+            # frames are dropped and re-fetched by NACK/timeout.
             state.out_of_order += 1
-            state.reorder_buffer[frame.seq] = frame
+            if len(state.reorder_buffer) < self.config.reorder_buffer_frames:
+                state.reorder_buffer[frame.seq] = frame
+            else:
+                self.stats.reorder_drops += 1
             already = self._nack_outstanding.get(state.connection_id, -1)
             if already < state.expected_seq:
                 self._nack_outstanding[state.connection_id] = frame.seq - 1

@@ -15,8 +15,9 @@ the wire representation.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 #: UDP destination port LTL engines listen on.
 LTL_UDP_PORT = 51000
@@ -33,7 +34,7 @@ FLAG_FIRST_FRAG = 1 << 0
 FLAG_LAST_FRAG = 1 << 1
 FLAG_CONGESTION = 1 << 2  # DC-QCN CNP piggybacked on an ACK
 
-_HEADER_FMT = "!HBBIIIHHHI"
+_HEADER_FMT = "!HBBIIIHHHII"
 #: Size of the LTL header on the wire.
 LTL_HEADER_BYTES = struct.calcsize(_HEADER_FMT)
 
@@ -56,11 +57,15 @@ class LtlFrame:
     ack_seq: int = 0
     payload: Any = b""
     payload_bytes: int = 0
+    #: CRC-32 sealing header + payload; auto-computed when left ``None``.
+    checksum: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.payload_bytes == 0 and isinstance(
                 self.payload, (bytes, bytearray)):
             self.payload_bytes = len(self.payload)
+        if self.checksum is None:
+            self.checksum = self.compute_checksum()
 
     # -- convenience ----------------------------------------------------
     @property
@@ -92,19 +97,40 @@ class LtlFrame:
         """Frame size carried as UDP payload."""
         return LTL_HEADER_BYTES + self.payload_bytes
 
+    # -- integrity --------------------------------------------------------
+    def compute_checksum(self) -> int:
+        """CRC-32 over the header (checksum field zeroed) plus the payload.
+
+        Opaque (non-bytes) payloads ride by reference in the simulation,
+        so they are covered through their wire length in the header only.
+        """
+        head = struct.pack(
+            _HEADER_FMT, MAGIC, self.frame_type, self.flags,
+            self.connection_id, self.seq, self.message_id, self.fragment,
+            self.total_fragments, self.payload_bytes & 0xFFFF,
+            self.ack_seq, 0)
+        crc = zlib.crc32(head)
+        if isinstance(self.payload, (bytes, bytearray)):
+            crc = zlib.crc32(bytes(self.payload), crc)
+        return crc & 0xFFFFFFFF
+
+    def verify_checksum(self) -> bool:
+        return self.checksum == self.compute_checksum()
+
     # -- serialization ----------------------------------------------------
     def header_to_bytes(self) -> bytes:
         return struct.pack(
             _HEADER_FMT, MAGIC, self.frame_type, self.flags,
             self.connection_id, self.seq, self.message_id, self.fragment,
-            self.total_fragments, self.payload_bytes & 0xFFFF, self.ack_seq)
+            self.total_fragments, self.payload_bytes & 0xFFFF, self.ack_seq,
+            (self.checksum or 0) & 0xFFFFFFFF)
 
     @classmethod
     def header_from_bytes(cls, raw: bytes) -> "LtlFrame":
         if len(raw) < LTL_HEADER_BYTES:
             raise ValueError("truncated LTL header")
         (magic, frame_type, flags, connection_id, seq, message_id, fragment,
-         total_fragments, payload_bytes, ack_seq) = struct.unpack(
+         total_fragments, payload_bytes, ack_seq, checksum) = struct.unpack(
             _HEADER_FMT, raw[:LTL_HEADER_BYTES])
         if magic != MAGIC:
             raise ValueError(f"bad LTL magic: {magic:#x}")
@@ -113,7 +139,7 @@ class LtlFrame:
                    message_id=message_id, fragment=fragment,
                    total_fragments=total_fragments,
                    payload=b"", payload_bytes=payload_bytes,
-                   ack_seq=ack_seq)
+                   ack_seq=ack_seq, checksum=checksum)
 
 
 def make_data_frame(connection_id: int, seq: int, message_id: int,

@@ -11,7 +11,7 @@ host's uplink into its TOR.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim import Environment, RandomStreams
 from .links import Port
@@ -59,6 +59,12 @@ class DatacenterFabric:
         self.topology = ThreeTierTopology(env, config, self.streams)
         self._attachments: Dict[int, Attachment] = {}
         self._handlers: Dict[int, Callable[[Packet], None]] = {}
+        #: Delivery taps per host: each gets the packet and returns it
+        #: (possibly replaced) to pass on, or ``None`` to swallow it.
+        self._taps: Dict[int, List[Callable[[Packet], Optional[Packet]]]] = {}
+        #: Detached hosts kept warm for :meth:`reattach`.
+        self._detached: Dict[int, Tuple[
+            Attachment, Callable[[Packet], None], Port]] = {}
 
     @property
     def config(self) -> TopologyConfig:
@@ -79,11 +85,12 @@ class DatacenterFabric:
                       rate_bps=lat.host_rate_bps,
                       distance_m=lat.host_tor_distance_m,
                       deliver=tor.receive)
-        # TOR -> host direction.
+        # TOR -> host direction (through the fault-injection taps).
         downlink = Port(self.env, f"tor->host-{host_index}",
                         rate_bps=lat.host_rate_bps,
                         distance_m=lat.host_tor_distance_m,
-                        deliver=deliver)
+                        deliver=lambda pkt, h=host_index:
+                        self._dispatch(h, pkt))
         tor.add_port(host_index, downlink)
         tor.register_upstream(f"host-{host_index}", uplink)
 
@@ -95,16 +102,72 @@ class DatacenterFabric:
         return attachment
 
     def detach(self, host_index: int) -> None:
-        """Remove a host (its TOR port stops delivering)."""
+        """Remove a host (its TOR port stops delivering).
+
+        The attachment is stashed so :meth:`reattach` can bring the host
+        back — modeling transient link loss as well as permanent death.
+        """
         attachment = self._attachments.pop(host_index, None)
         if attachment is None:
             raise KeyError(f"host {host_index} not attached")
-        self._handlers.pop(host_index, None)
+        handler = self._handlers.pop(host_index, None)
         coords = self.topology.coords(host_index)
         tor = self.topology.tor(coords.pod, coords.tor)
         port = tor.ports.pop(host_index, None)
         if port is not None:
             port.deliver = None
+        if handler is not None and port is not None:
+            self._detached[host_index] = (attachment, handler, port)
+
+    def reattach(self, host_index: int) -> Attachment:
+        """Restore a previously detached host on its original TOR port."""
+        if host_index in self._attachments:
+            raise ValueError(f"host {host_index} already attached")
+        try:
+            attachment, handler, port = self._detached.pop(host_index)
+        except KeyError:
+            raise KeyError(
+                f"host {host_index} was never attached; cannot reattach")
+        coords = self.topology.coords(host_index)
+        tor = self.topology.tor(coords.pod, coords.tor)
+        port.deliver = lambda pkt, h=host_index: self._dispatch(h, pkt)
+        tor.add_port(host_index, port)
+        self._attachments[host_index] = attachment
+        self._handlers[host_index] = handler
+        return attachment
+
+    # ------------------------------------------------------------------
+    # Delivery taps (fault injection at the TOR->host hop)
+    # ------------------------------------------------------------------
+    def _dispatch(self, host_index: int, packet: Packet) -> None:
+        for tap in list(self._taps.get(host_index, ())):
+            result = tap(packet)
+            if result is None:
+                return
+            packet = result
+        handler = self._handlers.get(host_index)
+        if handler is not None:
+            handler(packet)
+
+    def install_tap(self, host_index: int,
+                    tap: Callable[[Packet], Optional[Packet]]) -> None:
+        """Interpose ``tap`` on deliveries to ``host_index``."""
+        self._taps.setdefault(host_index, []).append(tap)
+
+    def remove_tap(self, host_index: int,
+                   tap: Callable[[Packet], Optional[Packet]]) -> None:
+        taps = self._taps.get(host_index, [])
+        if tap in taps:
+            taps.remove(tap)
+        if not taps:
+            self._taps.pop(host_index, None)
+
+    def inject_delivery(self, host_index: int, packet: Packet) -> None:
+        """Deliver ``packet`` to the host directly, bypassing the taps —
+        used by taps that re-inject delayed (gray) traffic."""
+        handler = self._handlers.get(host_index)
+        if handler is not None:
+            handler(packet)
 
     def attachment(self, host_index: int) -> Attachment:
         return self._attachments[host_index]

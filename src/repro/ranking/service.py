@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.metrics import LatencyRecorder
+from ..haas.fpga_manager import FpgaHealth, FpgaManager
 from ..sim import Environment, Resource
 from .ffu import FfuConfig, FfuDpfRole, QueryWork, SoftwareTimingModel, \
     WorkloadModel
@@ -71,6 +72,37 @@ class RankingServer:
         self.fpga_slots = Resource(env, capacity=config.fpga_pipeline_slots)
         self.latency = LatencyRecorder("query")
         self.completed = 0
+        #: Is the accelerator reachable?  While False, queries run every
+        #: stage on cores — "queries are serviced by software when their
+        #: FPGA fails" (§II-B).
+        self.fpga_available = True
+        self.software_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    def fail_fpga(self) -> None:
+        """Accelerator lost: degrade to the software timing model."""
+        self.fpga_available = False
+
+    def restore_fpga(self) -> None:
+        """Accelerator capacity is back: resume hardware scoring."""
+        self.fpga_available = True
+
+    def bind_fpga_health(self, manager: FpgaManager) -> None:
+        """Follow an FPGA Manager's health: degrade to software whenever
+        the board leaves HEALTHY, restore when it returns."""
+        previous = manager.on_health_change
+
+        def chained(fm, old, new, reason):
+            if previous is not None:
+                previous(fm, old, new, reason)
+            if new is FpgaHealth.HEALTHY:
+                self.restore_fpga()
+            else:
+                self.fail_fpga()
+
+        manager.on_health_change = chained
+        if manager.health is not FpgaHealth.HEALTHY:
+            self.fail_fpga()
 
     # ------------------------------------------------------------------
     def feature_stage_time(self, work: QueryWork) -> float:
@@ -93,7 +125,12 @@ class RankingServer:
         arrival = self.env.now
         software = self.config.software
 
-        if self.config.mode is AccelerationMode.SOFTWARE:
+        accelerated = (self.config.mode is not AccelerationMode.SOFTWARE
+                       and self.fpga_available)
+        if self.config.mode is not AccelerationMode.SOFTWARE \
+                and not self.fpga_available:
+            self.software_fallbacks += 1
+        if not accelerated:
             # The owning thread runs all stages back to back.
             with self.cores.request() as core:
                 yield core

@@ -55,4 +55,8 @@ def percentile(sorted_values, q: float) -> float:
     lo = int(rank)
     hi = min(lo + 1, n - 1)
     frac = rank - lo
-    return float(sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac)
+    a, b = float(sorted_values[lo]), float(sorted_values[hi])
+    if frac == 0.0 or a == b:
+        return a
+    # Clamp: a + (b-a)*frac can land an ulp outside [a, b].
+    return min(max(a + (b - a) * frac, a), b)

@@ -1,0 +1,239 @@
+"""Tests for the HaaS recovery machinery added for chaos hardening:
+lease expiry + renewal races, RM quarantine, the SM replacement retry
+loop, and the FM periodic health monitor."""
+
+import pytest
+
+from repro.core import ConfigurableCloud
+from repro.fpga import Image, ShellConfig
+from repro.haas import (
+    FpgaHealth,
+    LeaseState,
+    ResourceManager,
+    ServiceManager,
+)
+from repro.net import TopologyConfig, idle
+
+IMAGE = Image(name="svc", role_name="svc-role")
+
+
+def make_cloud(*indices, lease=5.0, sweep=0.5, quarantine=2.0):
+    """Control-plane-only cloud: shells without LTL (no 10 us timer
+    wheel), RM with fast lease/sweep/quarantine for sim-seconds tests."""
+    cloud = ConfigurableCloud(
+        topology=TopologyConfig(background=idle()), seed=1)
+    cloud._rm = ResourceManager(cloud.env, cloud.fabric.topology,
+                                lease_duration=lease, sweep_period=sweep,
+                                quarantine_seconds=quarantine)
+    for i in indices:
+        cloud.add_server(i, shell_config=ShellConfig(with_ltl=False))
+    return cloud
+
+
+def settle(cloud, seconds=12.0):
+    """Run past the initial configure (a few seconds of sim time)."""
+    cloud.env.run(until=cloud.env.now + seconds)
+
+
+class TestExpiryAndRenewal:
+    def test_missed_heartbeats_expire_lease_exactly_once(self):
+        cloud = make_cloud(0, 1, 2)
+        env, rm = cloud.env, cloud.resource_manager
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        revoked = []
+        lease = rm.acquire("svc", sm.constraints,
+                           on_revoked=lambda l, s: revoked.append(l))
+        held = list(lease.hosts)
+        # No heartbeat at all: the sweeper must expire the lease shortly
+        # after lease_duration and notify exactly once.
+        env.run(until=lease.expires_at + 2 * rm._sweep_period)
+        assert revoked == [lease]
+        assert lease.state is LeaseState.EXPIRED
+        assert rm.stats.expirations == 1
+        # Expiry is not a failure: hosts return to the pool unquarantined.
+        for host in held:
+            assert host in rm.free_hosts()
+
+    def test_heartbeat_keeps_lease_alive(self):
+        cloud = make_cloud(0, 1)
+        env, rm = cloud.env, cloud.resource_manager
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        sm.grow(1)
+        sm.start_heartbeat()
+        env.run(until=4 * rm.lease_duration)
+        assert len(sm.leases) == 1
+        assert sm.leases[0].state is LeaseState.ACTIVE
+        assert rm.stats.expirations == 0
+
+    def test_renew_all_skips_revoked_lease(self):
+        """The renewal race: a lease revoked between heartbeats must not
+        kill the heartbeat or resurrect the lease."""
+        cloud = make_cloud(0, 1, 2, 3, lease=60.0)
+        env, rm = cloud.env, cloud.resource_manager
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        sm.grow(2)
+        settle(cloud)
+        victim = sm.leases[0]
+        survivor = sm.leases[1]
+        rm.manager(victim.hosts[0]).mark_failed("test kill")
+        # The revoked lease object is gone from the SM (replaced), but
+        # simulate the race where a stale reference lingers:
+        sm.leases.append(victim)
+        before = survivor.expires_at
+        env.run(until=env.now + 1.0)
+        sm.renew_all()  # must not raise
+        assert victim.state is LeaseState.REVOKED
+        assert survivor.expires_at > before
+        sm.leases.remove(victim)
+
+    def test_renew_unknown_lease_still_raises_for_direct_callers(self):
+        cloud = make_cloud(0)
+        rm = cloud.resource_manager
+        sm = ServiceManager(cloud.env, "svc", rm, IMAGE)
+        lease = sm.grow(1)[0]
+        rm.release(lease)
+        with pytest.raises(KeyError):
+            rm.renew(lease)
+
+
+class TestQuarantine:
+    def test_failed_host_benched_then_rehabilitated(self):
+        cloud = make_cloud(0, 1, lease=60.0, quarantine=3.0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        lease = sm.grow(1)[0]
+        victim = lease.hosts[0]
+        rm.manager(victim).mark_failed("flaky link", hard=False)
+        # Replacement must not re-pick the victim...
+        assert victim not in sm.hosts
+        assert rm.in_quarantine(victim)
+        assert victim not in rm.free_hosts()
+        assert rm.stats.quarantines == 1
+        # ...but after the FM monitor rehabilitates it (soft failure,
+        # cause cleared) and the quarantine lapses, it is leasable again.
+        env.run(until=env.now + 30.0)
+        assert rm.manager(victim).health is FpgaHealth.HEALTHY
+        assert not rm.in_quarantine(victim)
+        assert victim in rm.free_hosts()
+
+    def test_expiry_does_not_quarantine(self):
+        cloud = make_cloud(0, lease=2.0, sweep=0.2)
+        env, rm = cloud.env, cloud.resource_manager
+        lease = rm.acquire("svc", ServiceManager(
+            env, "svc", rm, IMAGE).constraints)
+        env.run(until=lease.expires_at + 1.0)
+        assert rm.stats.expirations == 1
+        assert rm.stats.quarantines == 0
+
+
+class TestReplacementRetry:
+    def test_pending_replacement_filled_when_pool_frees(self):
+        """Pool exhausted at failure time: the component goes pending
+        and the background retry loop fills it once capacity appears."""
+        cloud = make_cloud(0, 1, lease=60.0, quarantine=2.0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        sm_a = ServiceManager(env, "a", rm, IMAGE)
+        sm_b = ServiceManager(env, "b", rm, IMAGE)
+        lease_a = sm_a.grow(1)[0]
+        sm_b.grow(1)  # pool now fully allocated
+        rm.manager(lease_a.hosts[0]).mark_failed("dead", hard=False)
+        assert sm_a.pending_replacements == 1
+        assert sm_a.leases == []
+        # Competing service releases its component; the retry loop's
+        # exponential backoff picks it up.
+        sm_b.shrink(1)
+        env.run(until=env.now + 10.0)
+        assert sm_a.pending_replacements == 0
+        assert len(sm_a.leases) == 1
+        assert sm_a.stats.replacements == 1
+
+    def test_immediate_replacement_when_spares_exist(self):
+        cloud = make_cloud(0, 1, 2, lease=60.0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        lease = sm.grow(1)[0]
+        rm.manager(lease.hosts[0]).mark_failed("dead", hard=False)
+        # Replacement happened synchronously inside the revocation.
+        assert sm.pending_replacements == 0
+        assert len(sm.leases) == 1
+        assert sm.leases[0].hosts[0] != lease.hosts[0]
+
+
+class TestFpgaMonitor:
+    def test_detach_detected_and_rehabilitated_on_reattach(self):
+        cloud = make_cloud(0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        fm = rm.manager(0)
+        cloud.fabric.detach(0)
+        env.run(until=env.now + 3 * fm.monitor_period)
+        assert fm.health is FpgaHealth.FAILED
+        cloud.fabric.reattach(0)
+        # Soft failure + cause cleared: auto-recover (power cycle ~10 s).
+        env.run(until=env.now + 20.0)
+        assert fm.health is FpgaHealth.HEALTHY
+        assert fm.recoveries >= 1
+
+    def test_hard_failure_not_rehabilitated(self):
+        cloud = make_cloud(0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        fm = rm.manager(0)
+        fm.mark_failed("board fried", hard=True)
+        env.run(until=env.now + 30.0)
+        assert fm.health is FpgaHealth.FAILED
+
+    def test_role_hang_escalates_and_recovers(self):
+        cloud = ConfigurableCloud(
+            topology=TopologyConfig(background=idle()), seed=1)
+        cloud._rm = ResourceManager(
+            cloud.env, cloud.fabric.topology, lease_duration=30.0,
+            sweep_period=1.0, quarantine_seconds=2.0)
+        cloud.add_server(0, shell_config=ShellConfig(
+            with_ltl=False, enable_seu=True))
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        fm = rm.manager(0)
+        shell = cloud.shell(0)
+        shell.scrubber.inject_flip(role_hang=True)
+        env.run(until=env.now + 3 * fm.monitor_period)
+        assert fm.health in (FpgaHealth.DEGRADED, FpgaHealth.FAILED)
+        env.run(until=env.now + 20.0)
+        assert fm.health is FpgaHealth.HEALTHY
+        assert not shell.scrubber.role_hung
+
+    def test_gray_reports_escalate_at_threshold(self):
+        cloud = make_cloud(0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        fm = rm.manager(0)
+        fm.report_gray()
+        assert fm.health is FpgaHealth.HEALTHY  # one report: benign
+        fm.report_gray()
+        assert fm.health is not FpgaHealth.HEALTHY  # 2 within window
+        env.run(until=env.now + 20.0)
+        assert fm.health is FpgaHealth.HEALTHY  # recovered after cycle
+
+    def test_gray_reports_outside_window_ignored(self):
+        cloud = make_cloud(0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        fm = rm.manager(0)
+        fm.report_gray()
+        env.run(until=env.now + 2 * fm.gray_report_window)
+        fm.report_gray()
+        assert fm.health is FpgaHealth.HEALTHY
+
+    def test_health_transitions_recorded(self):
+        cloud = make_cloud(0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        fm = rm.manager(0)
+        fm.mark_failed("test", hard=False)
+        env.run(until=env.now + 20.0)
+        states = [(old, new) for _, old, new, _ in fm.transitions]
+        assert (FpgaHealth.HEALTHY, FpgaHealth.FAILED) in states
+        assert states[-1][1] is FpgaHealth.HEALTHY
