@@ -1,0 +1,218 @@
+"""Core simulator speed benchmark — the repo's performance trajectory.
+
+Measures three throughput numbers that bound every experiment's runtime:
+
+* ``kernel_events_per_sec`` — raw event loop throughput on a pure
+  timeout workload (no network, no LTL),
+* ``ltl_round_trips_per_sec`` — full-stack LTL message round trips
+  (shell -> fabric -> shell and back) per wall-clock second,
+* ``fig10_wall_seconds`` / ``fig10_events_per_sec`` — wall clock and
+  event throughput of the Fig. 10 tier-latency workload, the paper's
+  headline experiment.
+
+Run standalone to append a run to the committed trajectory file::
+
+    PYTHONPATH=src python benchmarks/bench_core_speed.py            # full
+    PYTHONPATH=src python benchmarks/bench_core_speed.py --quick    # CI
+
+or compare a fresh result against the committed baseline (exits 1 on a
+>20% events/sec regression)::
+
+    PYTHONPATH=src python benchmarks/bench_core_speed.py \
+        --check BENCH_core.ci.json --baseline BENCH_core.json
+
+``BENCH_core.json`` keeps a bounded ``history`` of prior runs so the
+performance trajectory across PRs stays in the repo, not in CI logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.cloud import ConfigurableCloud  # noqa: E402
+from repro.experiments.fig10 import DEFAULT_TIER_PAIRS  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+
+#: Metrics guarded by ``--check`` (higher is better).
+GUARDED_METRICS = ("kernel_events_per_sec", "fig10_events_per_sec")
+
+HISTORY_LIMIT = 50
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def bench_kernel(n_timeouts: int) -> Dict[str, float]:
+    """Pure event-loop throughput: one process yielding timeouts."""
+    env = Environment()
+
+    def ticker(env: Environment, n: int):
+        timeout = env.timeout
+        for _ in range(n):
+            yield timeout(1e-6)
+
+    env.process(ticker(env, n_timeouts), name="ticker")
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    return {"events": env.events_processed,
+            "events_per_sec": env.events_processed / wall}
+
+
+def bench_ltl_rtt(messages: int) -> Dict[str, float]:
+    """Full-stack LTL round trips per second between two L0 hosts."""
+    cloud = ConfigurableCloud(seed=10)
+    for host in (0, 1):
+        cloud.add_server(host, enroll=False)
+    t0 = time.perf_counter()
+    rtts = cloud.measure_ltl_rtt(0, 1, messages=messages)
+    wall = time.perf_counter() - t0
+    return {"round_trips": len(rtts),
+            "round_trips_per_sec": len(rtts) / wall}
+
+
+def bench_fig10(messages_per_pair: int) -> Dict[str, float]:
+    """The Fig. 10 workload, instrumented for event throughput."""
+    cloud = ConfigurableCloud(seed=10)
+    t0 = time.perf_counter()
+    for _tier, (_reach, pairs) in DEFAULT_TIER_PAIRS.items():
+        for src, dst in pairs:
+            for host in (src, dst):
+                if host not in cloud.servers:
+                    cloud.add_server(host, enroll=False)
+            cloud.measure_ltl_rtt(src, dst, messages=messages_per_pair)
+    wall = time.perf_counter() - t0
+    events = cloud.env.events_processed
+    return {"wall_seconds": wall, "events": events,
+            "events_per_sec": events / wall}
+
+
+def run_suite(quick: bool) -> Dict[str, object]:
+    """Run every workload, best-of-N to damp scheduler noise."""
+    repeats = 2 if quick else 3
+    n_timeouts = 50_000 if quick else 200_000
+    ltl_messages = 500 if quick else 2_000
+    fig10_messages = 15 if quick else 60
+
+    kernel = max((bench_kernel(n_timeouts) for _ in range(repeats)),
+                 key=lambda r: r["events_per_sec"])
+    ltl = max((bench_ltl_rtt(ltl_messages) for _ in range(repeats)),
+              key=lambda r: r["round_trips_per_sec"])
+    fig10 = min((bench_fig10(fig10_messages) for _ in range(repeats)),
+                key=lambda r: r["wall_seconds"])
+
+    return {
+        "schema": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "metrics": {
+            "kernel_events_per_sec": round(kernel["events_per_sec"], 1),
+            "kernel_events": kernel["events"],
+            "ltl_round_trips_per_sec": round(
+                ltl["round_trips_per_sec"], 1),
+            "fig10_wall_seconds": round(fig10["wall_seconds"], 4),
+            "fig10_events": fig10["events"],
+            "fig10_events_per_sec": round(fig10["events_per_sec"], 1),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Trajectory file + regression check
+# ----------------------------------------------------------------------
+def write_result(result: Dict[str, object], path: Path) -> None:
+    """Write ``result`` to ``path``, carrying forward the run history."""
+    history: List[Dict[str, object]] = []
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, ValueError):
+            previous = None
+        if isinstance(previous, dict) and "metrics" in previous:
+            history = list(previous.get("history", []))
+            history.append({k: previous[k] for k in
+                            ("quick", "python", "timestamp", "metrics")
+                            if k in previous})
+    result = dict(result)
+    result["history"] = history[-HISTORY_LIMIT:]
+    path.write_text(json.dumps(result, indent=1) + "\n")
+
+
+def check_regression(current_path: Path, baseline_path: Path,
+                     tolerance: float) -> int:
+    """Exit status 1 if any guarded metric regressed past tolerance."""
+    current = json.loads(current_path.read_text())["metrics"]
+    baseline = json.loads(baseline_path.read_text())["metrics"]
+    failed = False
+    for name in GUARDED_METRICS:
+        cur, base = current.get(name), baseline.get(name)
+        if cur is None or base is None or base <= 0:
+            print(f"{name}: missing from current or baseline, skipping")
+            continue
+        ratio = cur / base
+        verdict = "OK" if ratio >= 1.0 - tolerance else "REGRESSION"
+        print(f"{name}: {cur:,.0f} vs baseline {base:,.0f} "
+              f"({ratio:.2f}x) {verdict}")
+        failed |= verdict == "REGRESSION"
+    if failed:
+        print(f"FAIL: events/sec regressed more than "
+              f"{tolerance:.0%} vs {baseline_path}")
+        return 1
+    print("benchmark check passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_core.json",
+                        help="result/trajectory file to write")
+    parser.add_argument("--check", type=Path, metavar="CURRENT",
+                        help="compare CURRENT against --baseline "
+                             "instead of running")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_core.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional events/sec drop")
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        return check_regression(args.check, args.baseline, args.tolerance)
+
+    result = run_suite(quick=args.quick)
+    for name, value in result["metrics"].items():
+        print(f"{name:>28}: {value:,}")
+    write_result(result, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest smoke (kept tiny; full runs happen via __main__)
+# ----------------------------------------------------------------------
+def test_core_speed_smoke():
+    result = run_suite(quick=True)
+    metrics = result["metrics"]
+    assert metrics["kernel_events_per_sec"] > 0
+    assert metrics["ltl_round_trips_per_sec"] > 0
+    assert metrics["fig10_events_per_sec"] > 0
+    # The Fig. 10 event count is seed-deterministic: a blow-up here means
+    # the kernel started scheduling busywork (e.g. idle polling returned).
+    assert metrics["fig10_events"] < 500_000
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

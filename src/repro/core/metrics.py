@@ -1,44 +1,190 @@
-"""Latency/throughput measurement helpers used by every experiment."""
+"""Latency/throughput measurement helpers used by every experiment.
+
+The measurement harness has to stay cheap relative to the modeled path:
+microsecond-scale RPC claims can't be reproduced if the recorder itself
+dominates the profile.  :class:`LatencyRecorder` therefore keeps a cached
+sorted view (one sort per burst of queries, instead of one sort *per
+percentile*), and :class:`StreamingQuantile` offers a constant-memory P²
+estimator for soaks too long to retain every sample.
+"""
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim.randomness import percentile
 
 
-class LatencyRecorder:
-    """Collects latency samples; answers percentile/mean queries."""
+class StreamingQuantile:
+    """Constant-memory quantile estimate via the P² algorithm.
 
-    def __init__(self, name: str = "latency"):
+    Jain & Chlamtac's P² (piecewise-parabolic) estimator tracks five
+    markers whose heights converge on the ``q``-quantile without storing
+    samples.  Accuracy is excellent for central quantiles and good for
+    tails once a few hundred samples have arrived; long chaos soaks use it
+    to keep memory flat where an exact recorder would retain millions of
+    floats.
+    """
+
+    __slots__ = ("q", "_n", "_heights", "_positions", "_desired", "_rate")
+
+    def __init__(self, q: float):
+        if not 0 < q < 100:
+            raise ValueError("q must be in (0, 100)")
+        self.q = q
+        p = q / 100.0
+        self._n = 0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._rate = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def record(self, x: float) -> None:
+        self._n += 1
+        heights = self._heights
+        if len(heights) < 5:
+            # Initialization phase: collect the first five samples sorted.
+            heights.append(x)
+            heights.sort()
+            return
+        # Find the cell containing x, clamping the extremes.
+        if x < heights[0]:
+            heights[0] = x
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= heights[k + 1]:
+                k += 1
+        positions = self._positions
+        for i in range(k + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._rate[i]
+        # Adjust interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            d = desired[i] - positions[i]
+            if (d >= 1.0 and positions[i + 1] - positions[i] > 1.0) or \
+                    (d <= -1.0 and positions[i - 1] - positions[i] < -1.0):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step) * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step) * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1]))
+
+    def _linear(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self._n == 0:
+            raise ValueError("no samples")
+        if len(self._heights) < 5:
+            # Too few samples for P²: fall back to the exact percentile.
+            return percentile(sorted(self._heights), self.q)
+        return self._heights[2]
+
+
+#: Quantiles a streaming recorder tracks (matching ``summary()``'s keys).
+STREAMING_QUANTILES: Tuple[float, ...] = (50.0, 95.0, 99.0, 99.9)
+
+
+class LatencyRecorder:
+    """Collects latency samples; answers percentile/mean queries.
+
+    Exact mode (default) retains every sample and serves all queries from
+    a cached sorted view — the sort happens once per burst of queries, not
+    once per percentile, so ``summary()`` costs a single sort.
+
+    Streaming mode (``streaming=True``) keeps O(1) memory: count, mean,
+    max and P² estimators for the quantiles in
+    :data:`STREAMING_QUANTILES`.  Use it for soaks where retaining every
+    sample is too expensive; percentiles other than the tracked set are
+    unavailable.
+    """
+
+    def __init__(self, name: str = "latency", streaming: bool = False):
         self.name = name
+        self.streaming = streaming
         self.samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._estimators: Dict[float, StreamingQuantile] = {}
+        if streaming:
+            self._estimators = {
+                q: StreamingQuantile(q) for q in STREAMING_QUANTILES}
 
     def record(self, value: float) -> None:
         if value < 0:
             raise ValueError("negative latency")
-        self.samples.append(value)
+        self._count += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+        if self.streaming:
+            for estimator in self._estimators.values():
+                estimator.record(value)
+        else:
+            self.samples.append(value)
+            self._sorted = None
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
             self.record(value)
 
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._count
 
     @property
     def mean(self) -> float:
-        if not self.samples:
+        if self._count == 0:
             raise ValueError("no samples")
-        return sum(self.samples) / len(self.samples)
+        return self._sum / self._count
+
+    def _view(self) -> List[float]:
+        """The cached sorted view, rebuilt only after new samples."""
+        if self._sorted is None or len(self._sorted) != len(self.samples):
+            self._sorted = sorted(self.samples)
+        return self._sorted
 
     def percentile(self, q: float) -> float:
-        if not self.samples:
+        if self._count == 0:
             raise ValueError("no samples")
-        return percentile(sorted(self.samples), q)
+        if self.streaming:
+            estimator = self._estimators.get(float(q))
+            if estimator is None:
+                raise ValueError(
+                    f"streaming recorder tracks only {STREAMING_QUANTILES}; "
+                    f"q={q} unavailable")
+            return estimator.value
+        return percentile(self._view(), q)
 
     @property
     def p50(self) -> float:
@@ -58,9 +204,9 @@ class LatencyRecorder:
 
     @property
     def max(self) -> float:
-        if not self.samples:
+        if self._count == 0:
             raise ValueError("no samples")
-        return max(self.samples)
+        return self._max
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -76,17 +222,34 @@ class LatencyRecorder:
 
 @dataclass
 class ThroughputMeter:
-    """Counts completions over a window to compute achieved throughput."""
+    """Counts completions over a window to compute achieved throughput.
 
-    started_at: float = 0.0
+    The window opens at ``started_at``.  Construct with an explicit start
+    time (``ThroughputMeter(started_at=env.now)``) or let the first
+    recorded completion open the window; the old default of ``0.0``
+    silently inflated the elapsed window for meters created mid-simulation
+    and under-reported throughput.
+    """
+
+    started_at: Optional[float] = None
     completions: int = 0
     last_completion_at: float = 0.0
 
     def record(self, now: float) -> None:
+        if self.started_at is None:
+            self.started_at = now
         self.completions += 1
         self.last_completion_at = now
 
+    def reset(self, now: float) -> None:
+        """Restart the measurement window at ``now``."""
+        self.started_at = now
+        self.completions = 0
+        self.last_completion_at = now
+
     def rate(self, now: Optional[float] = None) -> float:
+        if self.started_at is None:
+            return 0.0
         end = now if now is not None else self.last_completion_at
         elapsed = end - self.started_at
         if elapsed <= 0:

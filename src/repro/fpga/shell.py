@@ -93,17 +93,17 @@ class FabricLtlTransport:
 
     def send_frame(self, dst_host: int, frame: LtlFrame) -> None:
         shell = self.shell
+        shell.env.call_later(
+            shell.config.mac_tx_latency, self._inject, dst_host, frame)
 
-        def _tx():
-            yield shell.env.timeout(shell.config.mac_tx_latency)
-            packet = shell.attachment.make_packet(
-                dst_index=dst_host, payload=frame,
-                payload_bytes=frame.wire_bytes,
-                src_port=LTL_UDP_PORT, dst_port=LTL_UDP_PORT,
-                traffic_class=shell.config.ltl_traffic_class)
-            shell.bridge.inject_to_tor(packet)
-
-        shell.env.process(_tx(), name=f"ltl-tx-{shell.host_index}")
+    def _inject(self, dst_host: int, frame: LtlFrame) -> None:
+        shell = self.shell
+        packet = shell.attachment.make_packet(
+            dst_index=dst_host, payload=frame,
+            payload_bytes=frame.wire_bytes,
+            src_port=LTL_UDP_PORT, dst_port=LTL_UDP_PORT,
+            traffic_class=shell.config.ltl_traffic_class)
+        shell.bridge.inject_to_tor(packet)
 
 
 class Shell:

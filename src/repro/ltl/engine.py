@@ -33,7 +33,7 @@ from itertools import count
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..net.dcqcn import CnpGenerator, DcqcnConfig, DcqcnRateController
-from ..sim import Environment, Store
+from ..sim import Environment, Event, Store
 from .connection import (
     ConnectionError_,
     ConnectionTable,
@@ -160,6 +160,9 @@ class LtlEngine:
                                             burst_bytes=burst)
         self._cnp = CnpGenerator(self.config.dcqcn)
         self._pump_wakeup = Store(env)
+        #: Set while the retransmit timer is parked with nothing unacked;
+        #: :meth:`_transmit` triggers it to restart the periodic scan.
+        self._timer_wakeup: Optional[Event] = None
         self._nack_outstanding: Dict[int, int] = {}
         env.process(self._send_pump(), name=f"{self.name}:pump")
         env.process(self._retransmit_timer(), name=f"{self.name}:timer")
@@ -278,6 +281,9 @@ class LtlEngine:
     def _transmit(self, state: SendConnectionState, frame: LtlFrame,
                   retransmission: bool) -> None:
         now = self.env.now
+        wake = self._timer_wakeup
+        if wake is not None and not wake.triggered:
+            wake.succeed()
         entry = state.unacked.get(frame.seq)
         if entry is None:
             state.unacked[frame.seq] = UnackedFrame(
@@ -303,9 +309,29 @@ class LtlEngine:
             return cfg.degraded_timeouts
         return max(2, cfg.max_consecutive_timeouts // 2)
 
+    def _timer_has_work(self) -> bool:
+        """True if any connection needs the periodic timer scan.
+
+        A live connection needs it while frames are unacked; a failed one
+        only if reconnect probing is enabled (otherwise its frames stay
+        unacked forever and scanning them is pure overhead).
+        """
+        reconnect = self.config.reconnect
+        for state in self.send_table.values():
+            if state.unacked and (reconnect or not state.failed):
+                return True
+        return False
+
     def _retransmit_timer(self):
         cfg = self.config
         while True:
+            if not self._timer_has_work():
+                # Park until the next transmission instead of polling an
+                # idle engine every timer_period — on quiet engines this
+                # removes the dominant source of simulator events.
+                self._timer_wakeup = wake = self.env.event()
+                yield wake
+                self._timer_wakeup = None
             yield self.env.timeout(cfg.timer_period)
             now = self.env.now
             for state in list(self.send_table.values()):
@@ -373,19 +399,17 @@ class LtlEngine:
             # delivered to a role.
             self.stats.corrupt_dropped += 1
             return
-        self.env.process(
-            self._receive(frame, ecn_marked), name=f"{self.name}:rx")
-
-    def _receive(self, frame: LtlFrame, ecn_marked: bool):
+        # One deferred callback per frame — the rx pipeline latency —
+        # instead of a full process per frame.
         if frame.is_ack:
-            yield self.env.timeout(self.config.ack_rx_latency)
-            self._handle_ack(frame)
-            return
-        yield self.env.timeout(self.config.rx_latency)
-        if frame.is_nack:
-            self._handle_nack(frame)
+            self.env.call_later(
+                self.config.ack_rx_latency, self._handle_ack, frame)
+        elif frame.is_nack:
+            self.env.call_later(
+                self.config.rx_latency, self._handle_nack, frame)
         else:
-            self._handle_data(frame, ecn_marked)
+            self.env.call_later(
+                self.config.rx_latency, self._handle_data, frame, ecn_marked)
 
     def _handle_ack(self, frame: LtlFrame) -> None:
         self.stats.acks_received += 1

@@ -80,11 +80,9 @@ class DirectTransport:
         engine = self._engines.get(dst_host)
         if engine is None:
             return  # destination died: frames silently vanish
+        self.frames_in_flight += 1
+        self.env.call_later(delay, self._deliver, engine, frame)
 
-        def _deliver():
-            self.frames_in_flight += 1
-            yield self.env.timeout(delay)
-            self.frames_in_flight -= 1
-            engine.receive_frame(frame)
-
-        self.env.process(_deliver(), name="transport-deliver")
+    def _deliver(self, engine: LtlEngine, frame: LtlFrame) -> None:
+        self.frames_in_flight -= 1
+        engine.receive_frame(frame)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import List
 
 
 @dataclass
@@ -70,6 +71,27 @@ class TierJitter:
             delay += rng.uniform(self.burst_min, self.burst_max)
         return delay
 
+    def sample_batch(self, rng: random.Random, n: int) -> List[float]:
+        """``n`` draws, consuming ``rng`` exactly as ``n`` ``sample()``
+        calls would (so batched and unbatched runs stay bit-identical)."""
+        exp_mean = self.exp_mean
+        burst_prob = self.burst_prob
+        if exp_mean <= 0 and burst_prob <= 0:
+            return [0.0] * n
+        out: List[float] = []
+        append = out.append
+        expovariate = rng.expovariate
+        rand = rng.random
+        uniform = rng.uniform
+        lam = 1.0 / exp_mean if exp_mean > 0 else 0.0
+        burst_min, burst_max = self.burst_min, self.burst_max
+        for _ in range(n):
+            delay = expovariate(lam) if exp_mean > 0 else 0.0
+            if burst_prob > 0 and rand() < burst_prob:
+                delay += uniform(burst_min, burst_max)
+            append(delay)
+        return out
+
 
 @dataclass
 class BackgroundTrafficModel:
@@ -97,6 +119,57 @@ class BackgroundTrafficModel:
         if jitter is None:
             raise ValueError(f"unknown switch tier: {tier}")
         return jitter.sample(rng)
+
+    def sample_batch(self, tier: str, rng: random.Random,
+                     n: int) -> List[float]:
+        """``n`` jitter draws for ``tier`` (see
+        :meth:`TierJitter.sample_batch`)."""
+        jitter = getattr(self, tier, None)
+        if jitter is None:
+            raise ValueError(f"unknown switch tier: {tier}")
+        return jitter.sample_batch(rng, n)
+
+    def batched(self, tier: str, rng: random.Random,
+                batch: int = 64) -> "JitterStream":
+        """A buffered per-tier sampler for hot paths (one refill per
+        ``batch`` packets instead of one full dispatch per packet)."""
+        jitter = getattr(self, tier, None)
+        if jitter is None:
+            raise ValueError(f"unknown switch tier: {tier}")
+        return JitterStream(jitter, rng, batch)
+
+
+class JitterStream:
+    """Buffered jitter draws for one (tier, rng) pair.
+
+    Refills ``batch`` samples at a time via
+    :meth:`TierJitter.sample_batch`; draw order (and therefore RNG
+    consumption) matches per-packet sampling exactly, as long as the rng
+    is not shared with another *interleaved* consumer.  Switches qualify:
+    their rng's only other client is ECN marking, which draws nothing
+    while queues sit below the marking threshold.
+    """
+
+    __slots__ = ("_jitter", "_rng", "_batch", "_buffer", "_index")
+
+    def __init__(self, jitter: TierJitter, rng: random.Random,
+                 batch: int = 64):
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self._jitter = jitter
+        self._rng = rng
+        self._batch = batch
+        self._buffer: List[float] = []
+        self._index = 0
+
+    def take(self) -> float:
+        """The next jitter value (refilling the buffer when drained)."""
+        index = self._index
+        if index >= len(self._buffer):
+            self._buffer = self._jitter.sample_batch(self._rng, self._batch)
+            index = 0
+        self._index = index + 1
+        return self._buffer[index]
 
 
 def idle() -> BackgroundTrafficModel:

@@ -12,12 +12,16 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Optional
 
-from ..sim import Environment, Store
+from ..sim import Environment
 from ..sim.units import serialization_delay
 from .packet import Packet, TrafficClass
 
 #: Speed of light in fiber, metres per second (~2/3 c).
 FIBER_METERS_PER_SECOND = 2.0e8
+
+#: Strict-priority drain order (highest traffic class first), precomputed
+#: once instead of re-sorting on every packet.
+_DRAIN_ORDER = tuple(sorted(TrafficClass.ALL, reverse=True))
 
 
 def propagation_delay(distance_m: float) -> float:
@@ -49,6 +53,11 @@ class Port:
     the packet once serialization + propagation complete.  Classes are
     drained strictly by priority (higher traffic-class number first), which
     models the switch giving the lossless class precedence.
+
+    The drain is a callback state machine rather than a process: one
+    :meth:`Environment.call_later` per serialization and one per
+    propagation, with no generator, no wakeup store and no per-packet
+    process objects on the datapath.
     """
 
     def __init__(self, env: Environment, name: str, rate_bps: float,
@@ -66,8 +75,10 @@ class Port:
             tc: deque() for tc in TrafficClass.ALL}
         self._queued_bytes: Dict[int, int] = {tc: 0 for tc in TrafficClass.ALL}
         self._paused: Dict[int, bool] = {tc: False for tc in TrafficClass.ALL}
-        self._wakeup = Store(env)
-        self._drainer = env.process(self._drain(), name=f"port:{name}")
+        #: True while a packet is being serialized onto the wire.
+        self._busy = False
+        #: True while an idle->busy kick is already scheduled.
+        self._kick_pending = False
         #: Optional hook invoked with each transmitted packet (telemetry).
         self.on_transmit: Optional[Callable[[Packet], None]] = None
 
@@ -116,43 +127,56 @@ class Port:
         return self._paused[tc]
 
     # ------------------------------------------------------------------
-    # Drain loop
+    # Drain state machine
     # ------------------------------------------------------------------
     def _kick(self) -> None:
-        if len(self._wakeup) == 0:
-            self._wakeup.put(None)
+        """Schedule a drain start for this instant (idempotent).
+
+        The one-event deferral matters: every enqueue arriving at the same
+        timestamp is visible before the port picks a packet, so strict
+        priority is decided over the whole same-instant batch — matching
+        the old wakeup-store drain loop.
+        """
+        if not self._busy and not self._kick_pending:
+            self._kick_pending = True
+            self.env.call_later(0.0, self._kicked)
+
+    def _kicked(self) -> None:
+        self._kick_pending = False
+        if not self._busy:
+            self._start_next()
 
     def _next_packet(self) -> Optional[Packet]:
-        for tc in sorted(TrafficClass.ALL, reverse=True):
+        for tc in _DRAIN_ORDER:
             if self._queues[tc] and not self._paused[tc]:
                 packet = self._queues[tc].popleft()
                 self._queued_bytes[tc] -= packet.wire_bytes
                 return packet
         return None
 
-    def _drain(self):
-        while True:
-            packet = self._next_packet()
-            if packet is None:
-                yield self._wakeup.get()
-                continue
-            delay = serialization_delay(packet.wire_bytes, self.rate_bps)
-            yield self.env.timeout(delay)
-            self.stats.transmitted += 1
-            self.stats.bytes_transmitted += packet.wire_bytes
-            if self.on_transmit is not None:
-                self.on_transmit(packet)
-            if self.deliver is not None:
-                self._launch(packet)
-
-    def _launch(self, packet: Packet) -> None:
-        """Apply propagation delay, then hand to the receiver."""
-        if self.propagation <= 0:
-            self.deliver(packet)
+    def _start_next(self) -> None:
+        """Begin serializing the next eligible packet, if any."""
+        packet = self._next_packet()
+        if packet is None:
             return
+        self._busy = True
+        delay = serialization_delay(packet.wire_bytes, self.rate_bps)
+        self.env.call_later(delay, self._finish_tx, packet)
 
-        def _arrive(deliver=self.deliver, pkt=packet):
-            yield self.env.timeout(self.propagation)
-            deliver(pkt)
-
-        self.env.process(_arrive(), name=f"prop:{self.name}")
+    def _finish_tx(self, packet: Packet) -> None:
+        """Serialization done: launch the packet, pick up the next one."""
+        self.stats.transmitted += 1
+        self.stats.bytes_transmitted += packet.wire_bytes
+        if self.on_transmit is not None:
+            self.on_transmit(packet)
+        deliver = self.deliver
+        if deliver is not None:
+            # A pause asserted mid-flight never recalls photons: the
+            # packet propagates with whatever deliver target existed at
+            # transmit completion, as before.
+            if self.propagation <= 0:
+                deliver(packet)
+            else:
+                self.env.call_later(self.propagation, deliver, packet)
+        self._busy = False
+        self._start_next()

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..sim import Environment
-from .latency import BackgroundTrafficModel
+from .latency import BackgroundTrafficModel, JitterStream
 from .links import Port
 from .packet import Packet, TrafficClass
 
@@ -93,6 +93,9 @@ class Switch:
         self.ecn = ecn or EcnConfig()
         self.pfc = pfc or PfcConfig()
         self.stats = SwitchStats()
+        #: Buffered jitter sampler (created on first packet so that
+        #: unknown tiers still fail at forward time, as before).
+        self._jitter: Optional[JitterStream] = None
         self.ports: Dict[object, Port] = {}
         self._router: Optional[Callable[["Switch", Packet], object]] = None
         #: Upstream transmit ports to pause/resume, keyed by neighbor name.
@@ -123,13 +126,16 @@ class Switch:
         """Accept a packet from a link; forwarding happens asynchronously."""
         self.stats.received += 1
         packet.hops += 1
-        self.env.process(self._forward(packet), name=f"fwd:{self.name}")
-
-    def _forward(self, packet: Packet):
         delay = self.forwarding_latency
         if self.background is not None:
-            delay += self.background.sample(self.tier, self.rng)
-        yield self.env.timeout(delay)
+            jitter = self._jitter
+            if jitter is None:
+                jitter = self._jitter = self.background.batched(
+                    self.tier, self.rng)
+            delay += jitter.take()
+        self.env.call_later(delay, self._forward, packet)
+
+    def _forward(self, packet: Packet) -> None:
         if self._router is None:
             self.stats.routing_failures += 1
             return

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..sim import Environment, RandomStreams
+from ..sim.randomness import _derive_seed
 from .addressing import (
     HostCoordinates,
     host_index_to_coords,
@@ -92,8 +93,10 @@ class ThreeTierTopology:
     def pod_distance_m(self, pod: int) -> float:
         """Deterministic per-pod fiber run to the L2 tier (metres)."""
         lat = self.config.latency
-        # Stable pseudo-random fraction derived from the pod id.
-        u = (hash((self.streams.seed, "pod-distance", pod))
+        # Stable pseudo-random fraction derived from the pod id.  Uses the
+        # process-stable seed derivation — ``hash()`` on strings is salted
+        # per interpreter and would move every pod between runs.
+        u = (_derive_seed(self.streams.seed, "pod-distance", pod)
              & 0xFFFFFF) / float(1 << 24)
         return lat.l1_l2_distance_min_m + u * (
             lat.l1_l2_distance_max_m - lat.l1_l2_distance_min_m)

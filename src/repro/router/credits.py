@@ -76,8 +76,10 @@ class ElasticCreditPool(CreditPool):
     """Shared credit pool with a reserved minimum per VC.
 
     A VC first consumes its reserved credits; beyond those it borrows from
-    the shared pool.  Releases return credits to wherever they came from
-    (reserved refills first).
+    the shared pool.  A release refills the VC's reserved credits *first*
+    and only then repays the shared pool: the per-VC reserve is the
+    deadlock-avoidance guarantee, so it must be replenished before any
+    credit goes back to the communal float.
     """
 
     def __init__(self, total_credits: int, num_vcs: int,
@@ -106,11 +108,15 @@ class ElasticCreditPool(CreditPool):
         return False
 
     def release(self, vc: int) -> None:
-        if self._borrowed[vc] > 0:
+        # Reserved refills first (paper-faithful): while any reserved
+        # credit is outstanding the VC's deadlock-avoidance floor is
+        # compromised, so restore it before repaying borrowed shared
+        # credits.
+        if self._reserved_used[vc] > 0:
+            self._reserved_used[vc] -= 1
+        elif self._borrowed[vc] > 0:
             self._borrowed[vc] -= 1
             self._shared_used -= 1
-        elif self._reserved_used[vc] > 0:
-            self._reserved_used[vc] -= 1
         else:
             raise CreditError(f"release on idle VC {vc}")
 

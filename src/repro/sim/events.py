@@ -9,17 +9,36 @@ The design intentionally mirrors a minimal SimPy: ``Environment.process``
 wraps a generator into a :class:`Process`, ``Environment.timeout`` creates a
 pre-scheduled :class:`Timeout`, and arbitrary events can be created, succeeded
 and failed by user code.
+
+Hot-path notes
+--------------
+Everything here sits under every simulated packet, frame and RPC, so the
+implementation trades a little elegance for constant-factor speed:
+
+* every event class uses ``__slots__`` (no per-event ``__dict__``),
+* trigger paths push ``(time, priority, seq, event)`` tuples straight onto
+  the environment's heap instead of going through ``Environment.schedule``,
+* :class:`Deferred` is a two-slot pseudo-event carrying a bare callback for
+  one-shot "run ``fn(*args)`` after ``delay``" work, so subsystems don't
+  need to spin up a whole :class:`Process` (generator + bootstrap event)
+  just to apply a fixed latency.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional, TYPE_CHECKING
+from heapq import heappush
+from typing import Any, Callable, Generator, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .kernel import Environment
 
 #: Sentinel stored in :attr:`Event._value` while the event is still pending.
 PENDING = object()
+
+#: Priority of normal events on the heap (re-exported by the kernel).
+NORMAL = 1
+#: Priority of urgent events (processed before normal ones at equal time).
+URGENT = 0
 
 
 class SimulationError(Exception):
@@ -35,6 +54,38 @@ class Interrupt(SimulationError):
     def __init__(self, cause: Any = None):
         super().__init__(cause)
         self.cause = cause
+
+
+class Deferred:
+    """A one-shot scheduled callback: the cheapest possible heap entry.
+
+    The kernel runs ``fn(*args)`` when the entry's time arrives — no
+    callback list, no success/failure state, nothing to wait on.  Created
+    via :meth:`Environment.call_later` / :meth:`Environment.call_at`; used
+    throughout the network and LTL hot paths where the old code spawned a
+    whole :class:`Process` just to ``yield timeout(d)`` and call a function.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., None], args: Tuple = ()):
+        self.fn = fn
+        self.args = args
+
+    def __repr__(self) -> str:
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Deferred {name}>"
+
+
+class _Bootstrap:
+    """Duck-typed stand-in for the event a process is first resumed with."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_BOOT = _Bootstrap()
 
 
 class Event:
@@ -81,11 +132,12 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event as successful with an optional ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -94,13 +146,14 @@ class Event:
         When a failed event is processed with no waiters the exception is
         re-raised by the kernel unless a waiter marked it *defused*.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
         return self
 
     def __repr__(self) -> str:
@@ -117,11 +170,15 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + Environment.schedule: timeouts are the
+        # single most created object in any simulation.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        heappush(env._queue, (env._now + delay, NORMAL, next(env._seq), self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -150,9 +207,9 @@ class Process(Event):
         #: The event this process is currently waiting on (None when ready).
         self._target: Optional[Event] = None
         # Bootstrap: resume the generator at the current simulation time.
-        init = Event(env)
-        init.callbacks.append(self._resume)
-        init.succeed()
+        # A Deferred is enough — nothing ever waits on the bootstrap event.
+        heappush(env._queue, (env._now, NORMAL, next(env._seq),
+                              Deferred(self._resume, (_BOOT,))))
 
     @property
     def is_alive(self) -> bool:
@@ -180,7 +237,8 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         self._target = None
         try:
             if event._ok:
@@ -189,31 +247,32 @@ class Process(Event):
                 event._defused = True
                 result = self.generator.throw(event._value)
         except StopIteration as stop:
+            env._active_process = None
             self._ok = True
             self._value = stop.value
-            self.env.schedule(self)
+            heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
             return
         except BaseException as exc:
+            env._active_process = None
             self._ok = False
             self._value = exc
-            self.env.schedule(self)
+            heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
             return
-        finally:
-            self.env._active_process = None
+        env._active_process = None
 
         if not isinstance(result, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {result!r}")
         if result.callbacks is None:
             # Already processed: resume immediately at the current time.
-            immediate = Event(self.env)
+            immediate = Event(env)
             immediate._ok = result._ok
             immediate._value = result._value
             if not result._ok:
                 result._defused = True
                 immediate._defused = True
             immediate.callbacks.append(self._resume)
-            self.env.schedule(immediate)
+            env.schedule(immediate)
             self._target = immediate
         else:
             result.callbacks.append(self._resume)

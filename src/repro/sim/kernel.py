@@ -4,17 +4,33 @@
 subsystems (network switches, LTL engines, FPGA roles, ranking servers)
 schedule work here.  Time units are **seconds** throughout the library;
 helpers for microseconds/nanoseconds live in :mod:`repro.sim.units`.
+
+Performance
+-----------
+``run()`` is the innermost loop of every experiment, so it inlines the
+work of :meth:`Environment.step` (heap pop, callback dispatch) with all
+hot names bound locally.  The inlined loop is only used while ``step`` has
+not been replaced — :class:`~repro.sim.trace.Tracer` installs an
+instance-level ``step`` wrapper, and subclasses may override it; both fall
+back to the semantically identical ``step()``-per-event loop.
+
+One-shot latency callbacks (apply delay *d*, then call ``fn``) should use
+:meth:`Environment.call_later` rather than spawning a process: a
+:class:`~repro.sim.events.Deferred` costs one heap entry and no generator.
 """
 
 from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional
 
 from .events import (
+    NORMAL,
+    URGENT,
     AllOf,
     AnyOf,
+    Deferred,
     Event,
     Process,
     ProcessGenerator,
@@ -22,10 +38,7 @@ from .events import (
     Timeout,
 )
 
-#: Priority of normal events on the heap.
-NORMAL = 1
-#: Priority of urgent events (processed before normal ones at equal time).
-URGENT = 0
+__all__ = ["EmptySchedule", "Environment", "NORMAL", "URGENT"]
 
 
 class EmptySchedule(SimulationError):
@@ -46,6 +59,9 @@ class Environment:
         self._queue: List = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        #: Total events (including deferred callbacks) processed so far —
+        #: the numerator of every events/sec benchmark.
+        self.events_processed: int = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -97,6 +113,29 @@ class Environment:
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._seq), event))
 
+    def call_later(self, delay: float, fn: Callable[..., None],
+                   *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time.
+
+        The fast path for one-shot latency modeling: one slotted heap entry,
+        no :class:`Event` machinery, nothing to wait on.  Use a process (or
+        ``timeout``) when something must be able to wait on the result.
+        """
+        if delay < 0:
+            raise ValueError(f"negative call_later delay: {delay}")
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, NORMAL, next(self._seq), Deferred(fn, args)))
+
+    def call_at(self, when: float, fn: Callable[..., None],
+                *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise ValueError(
+                f"call_at({when}) is in the past (now={self._now})")
+        heapq.heappush(
+            self._queue, (when, NORMAL, next(self._seq), Deferred(fn, args)))
+
     def step(self) -> None:
         """Process the single next event; raise :class:`EmptySchedule` if none."""
         try:
@@ -106,6 +145,10 @@ class Environment:
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
+        self.events_processed += 1
+        if event.__class__ is Deferred:
+            event.fn(*event.args)
+            return
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -130,6 +173,9 @@ class Environment:
                 # Already processed.
                 if stop_event._ok:
                     return stop_event._value
+                # Re-raising counts as handling: defuse so teardown (or a
+                # later run) doesn't surface the same failure twice.
+                stop_event._defused = True
                 raise stop_event._value
         else:
             stop_event = None
@@ -157,8 +203,32 @@ class Environment:
             stop_event._defused = True
             raise stop_event._value
 
-        while self._queue and self.peek() <= stop_time:
-            self.step()
+        # Tight loop: inline step() unless it has been wrapped (Tracer
+        # assigns an instance attribute) or overridden by a subclass.
+        if "step" not in self.__dict__ and type(self).step is Environment.step:
+            queue = self._queue
+            pop = heapq.heappop
+            events_seen = 0
+            try:
+                while queue and queue[0][0] <= stop_time:
+                    when, _prio, _seq, event = pop(queue)
+                    if when < self._now:
+                        raise SimulationError("event scheduled in the past")
+                    self._now = when
+                    events_seen += 1
+                    if event.__class__ is Deferred:
+                        event.fn(*event.args)
+                        continue
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            finally:
+                self.events_processed += events_seen
+        else:
+            while self._queue and self.peek() <= stop_time:
+                self.step()
         if stop_time != float("inf"):
             self._now = stop_time
         return None

@@ -8,8 +8,21 @@ does not perturb any other component's draws.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Dict
+
+
+def _derive_seed(master_seed: int, *parts: object) -> int:
+    """Stable 48-bit child seed from a master seed and a name path.
+
+    Built on SHA-256 rather than ``hash()``: Python salts string hashing
+    per process (PYTHONHASHSEED), so ``hash((seed, name))`` silently broke
+    the "reproducible from a single seed" contract — every fresh
+    interpreter got different child streams for the same master seed.
+    """
+    key = repr((int(master_seed),) + parts).encode()
+    return int.from_bytes(hashlib.sha256(key).digest()[:6], "big")
 
 
 class RandomStreams:
@@ -17,7 +30,8 @@ class RandomStreams:
 
     Streams are derived from the master seed and the stream name, so the
     same (seed, name) pair always yields the same sequence regardless of
-    creation order.
+    creation order — and, since the derivation is a stable hash, regardless
+    of interpreter process and PYTHONHASHSEED.
     """
 
     def __init__(self, seed: int = 0):
@@ -28,14 +42,12 @@ class RandomStreams:
         """Return (creating if needed) the stream registered under ``name``."""
         if name not in self._streams:
             # Derive a child seed that depends on both master seed and name.
-            child_seed = hash((self.seed, name)) & 0xFFFFFFFFFFFF
-            self._streams[name] = random.Random(child_seed)
+            self._streams[name] = random.Random(_derive_seed(self.seed, name))
         return self._streams[name]
 
     def spawn(self, name: str) -> "RandomStreams":
         """Return a child registry namespaced under ``name``."""
-        child = RandomStreams(hash((self.seed, "spawn", name)) & 0xFFFFFFFF)
-        return child
+        return RandomStreams(_derive_seed(self.seed, "spawn", name))
 
 
 def percentile(sorted_values, q: float) -> float:

@@ -115,3 +115,81 @@ class TestConfigurableCloud:
         cloud = self._cloud()
         server = cloud.add_server(0, num_cores=4)
         assert server.cores.capacity == 4
+
+
+class TestLatencyRecorderCachedView:
+    def test_queries_match_fresh_sort_after_interleaved_updates(self):
+        import random as _random
+        from repro.sim.randomness import percentile as exact
+
+        rng = _random.Random(3)
+        recorder = LatencyRecorder()
+        recorder.extend(rng.random() for _ in range(500))
+        recorder.summary()            # populate the cached sorted view
+        recorder.record(2.5)          # must invalidate it
+        recorder.extend(rng.random() for _ in range(100))
+        view = sorted(recorder.samples)
+        for q in (50, 95, 99, 99.9):
+            assert recorder.percentile(q) == exact(view, q)
+        summary = recorder.summary()
+        assert summary["max"] == max(recorder.samples)
+        assert summary["count"] == 601.0
+
+
+class TestStreamingRecorder:
+    def test_tracked_quantiles_close_to_exact(self):
+        import random as _random
+
+        rng = _random.Random(11)
+        data = [rng.expovariate(1.0) for _ in range(20_000)]
+        streaming = LatencyRecorder(streaming=True)
+        exact = LatencyRecorder()
+        for x in data:
+            streaming.record(x)
+            exact.record(x)
+        assert streaming.p50 == pytest.approx(exact.p50, rel=0.05)
+        assert streaming.p95 == pytest.approx(exact.p95, rel=0.05)
+        assert streaming.p99 == pytest.approx(exact.p99, rel=0.10)
+        assert streaming.p999 == pytest.approx(exact.p999, rel=0.30)
+        assert streaming.max == exact.max
+        assert streaming.mean == pytest.approx(exact.mean)
+        # Constant memory: streaming mode retains no samples.
+        assert streaming.samples == []
+
+    def test_untracked_quantile_raises(self):
+        recorder = LatencyRecorder(streaming=True)
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(75)
+
+    def test_summary_keys_match_exact_mode(self):
+        streaming = LatencyRecorder(streaming=True)
+        exact = LatencyRecorder()
+        for x in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            streaming.record(x)
+            exact.record(x)
+        assert set(streaming.summary()) == set(exact.summary())
+
+
+class TestThroughputMeterWindow:
+    def test_first_record_opens_window(self):
+        meter = ThroughputMeter()
+        assert meter.rate() == 0.0
+        # Regression: a meter created mid-simulation used to measure from
+        # t=0, silently inflating the window and under-reporting rate.
+        meter.record(100.0)
+        meter.record(101.0)
+        meter.record(102.0)
+        assert meter.started_at == 100.0
+        assert meter.rate() == pytest.approx(3 / 2.0)
+
+    def test_reset_rebases_window(self):
+        meter = ThroughputMeter(started_at=0.0)
+        meter.record(1.0)
+        meter.reset(10.0)
+        assert meter.completions == 0
+        assert meter.rate() == 0.0
+        meter.record(11.0)
+        meter.record(12.0)
+        assert meter.rate() == pytest.approx(1.0)
+        assert meter.rate(now=14.0) == pytest.approx(0.5)

@@ -261,3 +261,37 @@ class TestRateLimiting:
         a.close_send_connection(conn_ab)
         with pytest.raises(Exception):
             a.send_message(conn_ab, b"x", 1)
+
+
+class TestIdleTimerParking:
+    def test_idle_engines_do_not_poll(self):
+        """The retransmit timer parks while nothing is unacked.
+
+        An idle pair used to burn one timer event per ``timer_period`` per
+        engine forever; a long idle stretch must now cost O(1) events.
+        """
+        env = Environment()
+        _t, a, b, conn_ab, _ = make_pair(env)
+        a.send_message(conn_ab, b"warmup", 6)
+        env.run(until=1e-3)
+        busy_events = env.events_processed
+        env.run(until=1.0)  # ~1 simulated second of nothing happening
+        idle_events = env.events_processed - busy_events
+        period_ticks = 1.0 / a.config.timer_period
+        assert idle_events < period_ticks / 100
+
+    def test_timer_wakes_for_retransmission(self):
+        """Parking must not break loss recovery: a frame dropped on an
+        otherwise-idle connection is still retransmitted and delivered."""
+        env = Environment()
+        faults = FaultModel(drop_probability=1.0)
+        transport, a, b, conn_ab, _ = make_pair(env, faults=faults)
+        got = []
+        b.on_message = lambda c, p, n: got.append(p)
+        a.send_message(conn_ab, b"lost", 4)
+        env.run(until=5 * a.config.retransmit_timeout)
+        assert got == []  # everything dropped so far
+        transport.faults.drop_probability = 0.0
+        env.run(until=env.now + 1e-3)
+        assert got == [b"lost"]
+        assert a.stats.retransmissions >= 1

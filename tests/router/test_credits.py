@@ -69,16 +69,60 @@ class TestElasticCreditPool:
         assert pool.try_acquire(1)
         assert not pool.try_acquire(1)
 
-    def test_release_returns_borrowed_to_shared(self):
+    def test_release_refills_reserved_before_shared(self):
+        """Releases restore the VC's deadlock-avoidance reserve first;
+        only then do they repay borrowed shared credits."""
         pool = ElasticCreditPool(total_credits=6, num_vcs=2,
                                  reserved_per_vc=1)
         for _ in range(5):  # 1 reserved + 4 shared
             assert pool.try_acquire(0)
         assert pool.shared_in_use == 4
         pool.release(0)
+        # Reserved refilled first: the shared pool is still fully lent out.
+        assert pool.shared_in_use == 4
+        assert pool.available(0) == 1
+        pool.release(0)
+        # Reserve already full, so this one repays the shared pool.
         assert pool.shared_in_use == 3
         assert pool.try_acquire(1)  # reserved
         assert pool.try_acquire(1)  # shared, returned by VC 0
+
+    def test_release_ordering_under_churn(self):
+        """Reserved-vs-borrowed accounting stays consistent while VCs
+        acquire and release in interleaved bursts."""
+        pool = ElasticCreditPool(total_credits=12, num_vcs=3,
+                                 reserved_per_vc=2)
+        held = {vc: 0 for vc in range(3)}
+        # Deterministic churn: repeated waves of acquire-most / free-some.
+        for wave in range(40):
+            for vc in range(3):
+                want = (wave + vc) % 5
+                while held[vc] < want and pool.try_acquire(vc):
+                    held[vc] += 1
+            for vc in range(3):
+                drop = (wave * 7 + vc) % 3
+                for _ in range(min(drop, held[vc])):
+                    pool.release(vc)
+                    held[vc] -= 1
+            assert pool.in_use == sum(held.values())
+            assert 0 <= pool.shared_in_use <= 6
+            assert pool.shared_in_use == sum(pool._borrowed)
+            for vc in range(3):
+                assert pool._reserved_used[vc] + pool._borrowed[vc] \
+                    == held[vc]
+                # Deadlock avoidance: any VC with free reserve can always
+                # acquire, no matter how lent-out the shared pool is.
+                if pool._reserved_used[vc] < 2:
+                    assert pool.try_acquire(vc)
+                    pool.release(vc)
+        # Drain everything; the pool must return to pristine state.
+        for vc in range(3):
+            while held[vc]:
+                pool.release(vc)
+                held[vc] -= 1
+        assert pool.in_use == 0
+        assert pool.shared_in_use == 0
+        assert all(pool.available(vc) == 2 + 6 for vc in range(3))
 
     def test_release_idle_raises(self):
         pool = ElasticCreditPool(total_credits=4, num_vcs=2)
