@@ -105,7 +105,17 @@ def full_mix_campaign(start: float, busy_hosts):
     events = generate_campaign(POOL, SOAK_SECONDS - 10.0, config, seed=3)
     rng = random.Random(99)
     present = {e.kind for e in events}
+    # Traffic-scoped events go first, while every service member is
+    # still guaranteed live, and each on a *distinct* member: a masked
+    # fault still raises gray reports, and a failover triggered by one
+    # event would drain the traffic the next tap on that host needs.
     at = 5.0
+    victims = rng.sample(sorted(busy_hosts),
+                         k=min(len(TRAFFIC_KINDS), len(busy_hosts)))
+    for kind, victim in zip(TRAFFIC_KINDS, victims):
+        events.append(FaultEvent(at=at, kind=kind, target=victim,
+                                 **config.event_shape(kind)))
+        at += 2.0
     for kind in FaultKind:
         if kind not in present:
             shape = config.event_shape(kind)
@@ -114,11 +124,6 @@ def full_mix_campaign(start: float, busy_hosts):
             events.append(FaultEvent(at=at, kind=kind, target=target,
                                      **shape))
             at += 4.0
-    for kind in TRAFFIC_KINDS:
-        events.append(FaultEvent(at=at, kind=kind,
-                                 target=rng.choice(list(busy_hosts)),
-                                 **config.event_shape(kind)))
-        at += 4.0
     events.sort(key=lambda e: (e.at, e.kind.value, e.target))
     for e in events:
         e.at += start

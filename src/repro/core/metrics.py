@@ -257,6 +257,93 @@ class ThroughputMeter:
         return self.completions / elapsed
 
 
+@dataclass
+class SloTracker:
+    """Goodput and deadline-miss accounting for overload experiments.
+
+    Raw open-loop throughput does not collapse under overload — a
+    saturated server still completes ~capacity requests per second,
+    they are just all late.  What collapses is **goodput**:
+    completions that made their deadline.  This tracker therefore
+    classifies every offered request into exactly one terminal bucket:
+
+    * ``shed`` — rejected by admission control (fast error),
+    * ``expired`` — dropped mid-path because its deadline passed,
+    * ``deadline_misses`` — completed, but after its deadline,
+    * ``good`` — completed within its deadline (via ``complete()``).
+
+    ``snapshot()`` returns the running counters so a benchmark can diff
+    phases (pre-surge vs surge) without multiple tracker objects.
+    """
+
+    offered: int = 0
+    admitted: int = 0
+    degraded: int = 0
+    shed: int = 0
+    expired: int = 0
+    completed: int = 0
+    deadline_misses: int = 0
+    started_at: Optional[float] = None
+    last_event_at: float = 0.0
+
+    def offer(self, now: float) -> None:
+        if self.started_at is None:
+            self.started_at = now
+        self.offered += 1
+        self.last_event_at = now
+
+    def admit(self, degraded: bool = False) -> None:
+        self.admitted += 1
+        if degraded:
+            self.degraded += 1
+
+    def shed_one(self) -> None:
+        self.shed += 1
+
+    def expire(self) -> None:
+        self.expired += 1
+
+    def complete(self, now: float, missed_deadline: bool = False) -> None:
+        self.completed += 1
+        if missed_deadline:
+            self.deadline_misses += 1
+        self.last_event_at = now
+
+    @property
+    def good(self) -> int:
+        """Completions that made their deadline."""
+        return self.completed - self.deadline_misses
+
+    def goodput(self, now: Optional[float] = None) -> float:
+        """Good completions per second over the tracked window."""
+        if self.started_at is None:
+            return 0.0
+        end = now if now is not None else self.last_event_at
+        elapsed = end - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.good / elapsed
+
+    def goodput_fraction(self) -> float:
+        """Good completions as a fraction of offered load."""
+        if self.offered == 0:
+            return 0.0
+        return self.good / self.offered
+
+    def snapshot(self) -> Dict[str, int]:
+        """Running counters, for phase diffing in benchmarks."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "expired": self.expired,
+            "completed": self.completed,
+            "deadline_misses": self.deadline_misses,
+            "good": self.good,
+        }
+
+
 def normalize(values: Iterable[float], reference: float) -> List[float]:
     """Divide each value by ``reference`` (the paper's normalization)."""
     if reference == 0:

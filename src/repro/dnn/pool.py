@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.metrics import LatencyRecorder
+from ..overload.deadline import expires_at_of
+from ..overload.hedging import HedgeController
 from ..sim import Environment, Resource
 from .accelerator import DnnAccelerator, DnnAcceleratorConfig
 
@@ -90,8 +92,17 @@ class DnnPool:
             DnnAccelerator(accelerator_config) for _ in range(num_fpgas)]
         self._slots = [Resource(env, capacity=1) for _ in range(num_fpgas)]
         self._queue_depth = [0] * num_fpgas
+        #: Per-FPGA service-time multiplier (limplock knob: a slow peer
+        #: serves at ``slow_factor`` x the nominal time until reset).
+        self.slow_factor = [1.0] * num_fpgas
         self.latency = LatencyRecorder("dnn-request")
         self.completed = 0
+        #: Requests actually *served* by an accelerator (primaries plus
+        #: hedges that started service) — the hedge-budget denominator
+        #: measures extra backend load against this.
+        self.backend_served = 0
+        #: Requests dropped because their deadline expired in the pool.
+        self.deadline_drops = 0
 
     @property
     def num_fpgas(self) -> int:
@@ -104,17 +115,40 @@ class DnnPool:
         self.accelerators.pop()
         self._slots.pop()
         self._queue_depth.pop()
+        self.slow_factor.pop()
 
-    def _pick(self) -> int:
-        best = 0
-        for i in range(1, self.num_fpgas):
-            if self._queue_depth[i] < self._queue_depth[best]:
+    def set_slow(self, index: int, factor: float) -> None:
+        """Limplock ``index``: it keeps serving, ``factor`` x slower."""
+        if factor < 1.0:
+            raise ValueError("slow factor must be >= 1.0")
+        self.slow_factor[index] = factor
+
+    def _pick(self, exclude: Optional[int] = None) -> int:
+        best = -1
+        for i in range(self.num_fpgas):
+            if i == exclude:
+                continue
+            if best < 0 or self._queue_depth[i] < self._queue_depth[best]:
                 best = i
         return best
 
-    def request(self):
-        """Process: one client request through the pool."""
+    def _service_time(self, index: int) -> float:
+        return self.accelerators[index].sample_service_time(self.rng) \
+            * self.slow_factor[index]
+
+    def request(self, deadline=None):
+        """Process: one client request through the pool.
+
+        ``deadline`` (a Deadline or absolute expiry in seconds) makes
+        the pool drop-and-account the request instead of serving it once
+        expired — checked at entry and again when the accelerator slot
+        is granted (the wait is where overload shows up).
+        """
         enqueued_at = self.env.now
+        expires_at = expires_at_of(deadline)
+        if expires_at is not None and self.env.now > expires_at:
+            self.deadline_drops += 1
+            return None
         network = 0.0
         if self.remote is not None:
             network = self.remote.sample(self.rng)
@@ -125,8 +159,12 @@ class DnnPool:
             yield self.env.timeout(network / 2)
         with self._slots[index].request() as slot:
             yield slot
-            service = self.accelerators[index].sample_service_time(self.rng)
-            yield self.env.timeout(service)
+            if expires_at is not None and self.env.now > expires_at:
+                self._queue_depth[index] -= 1
+                self.deadline_drops += 1
+                return None
+            self.backend_served += 1
+            yield self.env.timeout(self._service_time(index))
         self._queue_depth[index] -= 1
         if network > 0:
             yield self.env.timeout(network / 2)
@@ -134,6 +172,111 @@ class DnnPool:
         self.latency.record(latency)
         self.completed += 1
         return latency
+
+    # ------------------------------------------------------------------
+    # Hedged requests (tail-at-scale)
+    # ------------------------------------------------------------------
+    def _race_leg(self, index: int, network: float, state: Dict,
+                  label: str, done) -> None:
+        """One leg of a hedged race; fills ``state[label]`` in place."""
+
+        def leg():
+            out = state[label]
+            if network > 0:
+                yield self.env.timeout(network / 2)
+            self._queue_depth[index] += 1
+            slot = self._slots[index].request()
+            out["slot"] = slot
+            yield slot
+            if state["winner"] is not None:
+                # Lost while queued: give the slot straight back.
+                self._slots[index].release(slot)
+                self._queue_depth[index] -= 1
+                return
+            out["started"] = True
+            self.backend_served += 1
+            service = self._service_time(index)
+            yield self.env.timeout(service)
+            self._slots[index].release(slot)
+            self._queue_depth[index] -= 1
+            if network > 0:
+                yield self.env.timeout(network / 2)
+            if state["winner"] is None:
+                state["winner"] = label
+                done.succeed(label)
+
+        self.env.process(leg(), name=f"dnn-{label}")
+
+    def request_hedged(self, hedge: HedgeController, deadline=None):
+        """Process: one request with tail hedging (Dean & Barroso).
+
+        The primary goes to the JSQ-chosen FPGA.  If it has not answered
+        after the controller's P95-derived delay — and the global hedge
+        budget allows — one hedge goes to a *different* FPGA; the first
+        response wins.  The losing leg is cancelled if it has not yet
+        started service, so a queued loser adds zero backend load.
+        """
+        enqueued_at = self.env.now
+        expires_at = expires_at_of(deadline)
+        if expires_at is not None and self.env.now > expires_at:
+            self.deadline_drops += 1
+            return None
+        hedge.on_primary()
+        done = self.env.event()
+        state: Dict = {"winner": None,
+                       "primary": {"slot": None, "started": False},
+                       "hedge": {"slot": None, "started": False},
+                       "hedge_issued": False}
+        network = self.remote.sample(self.rng) if self.remote else 0.0
+        primary_index = self._pick()
+        self._race_leg(primary_index, network, state, "primary", done)
+
+        delay = hedge.hedge_delay()
+
+        def hedger():
+            yield self.env.timeout(delay)
+            if state["winner"] is not None or self.num_fpgas < 2:
+                return
+            if not hedge.try_acquire_hedge():
+                return
+            state["hedge_issued"] = True
+            hedge_network = self.remote.sample(self.rng) if self.remote \
+                else 0.0
+            self._race_leg(self._pick(exclude=primary_index),
+                           hedge_network, state, "hedge", done)
+
+        if delay is not None and self.num_fpgas >= 2:
+            self.env.process(hedger(), name="dnn-hedger")
+
+        winner = yield done
+        # Cancel the losing leg if it is still *queued*: releasing an
+        # ungranted request removes it from the wait queue, so it never
+        # reaches an accelerator.  A granted-but-unstarted loser cleans
+        # itself up when its process resumes and sees the winner.
+        loser_cancelled = False
+        loser = "hedge" if winner == "primary" else "primary"
+        if loser == "primary" or state["hedge_issued"]:
+            out = state[loser]
+            slot = out["slot"]
+            if slot is not None and not out["started"] \
+                    and not slot.released and not slot.triggered:
+                self._slots_release_for(slot)
+                loser_cancelled = True
+        latency = self.env.now - enqueued_at
+        self.latency.record(latency)
+        self.completed += 1
+        hedge.observe(latency)
+        if state["hedge_issued"]:
+            hedge.on_win(winner == "hedge",
+                         loser_cancelled_unstarted=loser_cancelled)
+        return latency
+
+    def _slots_release_for(self, slot_request) -> None:
+        """Release a leg's slot request on whichever FPGA issued it."""
+        resource = slot_request.resource
+        resource.release(slot_request)
+        index = self._slots.index(resource)
+        self._queue_depth[index] -= 1
 
 
 @dataclass

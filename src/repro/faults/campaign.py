@@ -38,12 +38,19 @@ class FaultKind(enum.Enum):
     TOR_OUTAGE = "tor_outage"
     #: Control-plane stall: heartbeats stop, leases may expire.
     CONTROL_STALL = "control_stall"
+    #: Flash crowd: offered load multiplied by ``magnitude`` for
+    #: ``duration`` — the overload fault (ISSUE 6).
+    LOAD_SPIKE = "load_spike"
+    #: Limplock: the target serves/forwards ``magnitude`` x slower for
+    #: ``duration`` without failing health checks.
+    SLOW_PEER = "slow_peer"
 
 
 #: Kinds whose effect ends on its own after ``duration``.
 TRANSIENT_KINDS = frozenset({
     FaultKind.LINK_FLAP, FaultKind.FRAME_CORRUPT, FaultKind.FRAME_DROP,
     FaultKind.GRAY_NODE, FaultKind.TOR_OUTAGE, FaultKind.CONTROL_STALL,
+    FaultKind.LOAD_SPIKE, FaultKind.SLOW_PEER,
 })
 
 
@@ -82,6 +89,10 @@ class CampaignConfig:
     gray_delay: float = 1e-3
     tor_outage_duration: float = 3.0
     control_stall_duration: float = 10.0
+    load_spike_duration: float = 2.0
+    load_spike_multiplier: float = 5.0
+    slow_peer_duration: float = 2.0
+    slow_peer_factor: float = 8.0
 
     @classmethod
     def scaled_from_paper(cls, scale: float,
@@ -111,6 +122,11 @@ class CampaignConfig:
             # per-host ones in practice.
             FaultKind.TOR_OUTAGE: cable / 10.0,
             FaultKind.CONTROL_STALL: cable / 10.0,
+            # Overload events: flash crowds hit the datacenter, not a
+            # host, so they arrive at TOR-outage-like rarity; limplocked
+            # peers show up about as often as other gray cable faults.
+            FaultKind.LOAD_SPIKE: cable / 10.0,
+            FaultKind.SLOW_PEER: cable,
         })
         for name, value in shape_overrides.items():
             setattr(config, name, value)
@@ -135,6 +151,12 @@ class CampaignConfig:
                 duration=self.tor_outage_duration, magnitude=0.0),
             FaultKind.CONTROL_STALL: dict(
                 duration=self.control_stall_duration, magnitude=0.0),
+            FaultKind.LOAD_SPIKE: dict(
+                duration=self.load_spike_duration,
+                magnitude=self.load_spike_multiplier),
+            FaultKind.SLOW_PEER: dict(
+                duration=self.slow_peer_duration,
+                magnitude=self.slow_peer_factor),
         }[kind]
 
 

@@ -29,6 +29,11 @@ FRAME_DROP       retransmissions observed fleet-wide         masked online by
 CONTROL_STALL    RM lease expirations observed               SMs drain their
                                                              pending
                                                              replacements
+LOAD_SPIKE       immediately (the spike is applied through   spike expires
+                 the injector's ``load_hook``)
+SLOW_PEER        tap removal (frames observably slowed; the  masked online by
+                 victim never fails a health check — that    delivery; ends
+                 is the point of a limplock)                 with ``duration``
 ===============  ==========================================  =============
 """
 
@@ -36,7 +41,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..core.cloud import ConfigurableCloud
 from ..fpga.seu import SeuScrubber
@@ -97,6 +102,8 @@ class InjectorStats:
     frames_corrupted: int = 0
     frames_dropped: int = 0
     frames_delayed: int = 0
+    frames_slowed: int = 0
+    load_spikes: int = 0
 
     def count(self, kind: FaultKind) -> None:
         self.injections[kind.value] = \
@@ -120,6 +127,11 @@ class FaultInjector:
         self.hosts = list(hosts)
         self.service_managers = list(service_managers)
         self.rng = random.Random(seed)
+        #: LOAD_SPIKE effector: called with the load multiplier when a
+        #: spike starts and with 1.0 when it ends.  Harnesses that drive
+        #: an offered-load process set this; without it spikes are
+        #: elided (recorded but no-op).
+        self.load_hook: Optional[Callable[[float], None]] = None
         self.records: List[InjectionRecord] = []
         self.stats = InjectorStats()
         #: host -> open (unresolved) health-watched records.
@@ -195,6 +207,10 @@ class FaultInjector:
             yield from self._do_role_hang(event, record)
         elif kind is FaultKind.CONTROL_STALL:
             yield from self._do_control_stall(event, record)
+        elif kind is FaultKind.LOAD_SPIKE:
+            yield from self._do_load_spike(event, record)
+        elif kind is FaultKind.SLOW_PEER:
+            yield from self._do_slow_peer(event, record)
         else:  # pragma: no cover - exhaustive over FaultKind
             raise ValueError(f"unknown fault kind {kind}")
 
@@ -389,6 +405,69 @@ class FaultInjector:
             # fault never manifested.
             record.detected_at = record.recovered_at = self.env.now
             record.note += "; no leases expired"
+
+    def _do_load_spike(self, event: FaultEvent, record: InjectionRecord):
+        """Flash crowd: offered load x ``magnitude`` for ``duration``.
+
+        The injector does not own the workload, so the spike is applied
+        through :attr:`load_hook`; overload defense (admission control,
+        shedding, deadline drops) lives in the serving path and is
+        measured by the harness, so the record closes when the spike
+        expires.  Without a hook the spike is elided.
+        """
+        self.stats.load_spikes += 1
+        if self.load_hook is None:
+            record.detected_at = record.recovered_at = self.env.now
+            record.note = "no load hook installed; spike elided"
+            yield self.env.timeout(0)
+            return
+        self.load_hook(event.magnitude)
+        record.detected_at = self.env.now
+        record.note = (f"offered load x{event.magnitude:.1f} for "
+                       f"{event.duration:.3f}s")
+        yield self.env.timeout(event.duration)
+        self.load_hook(1.0)
+        record.recovered_at = self.env.now
+
+    def _do_slow_peer(self, event: FaultEvent, record: InjectionRecord):
+        """Limplock: the victim's NIC serves frames ``magnitude`` x
+        slower without ever failing a health check.
+
+        Modeled as extra per-frame delivery delay proportional to each
+        frame's wire size: ``(magnitude - 1) * wire_time``.  Unlike a
+        gray node the slowdown is load-dependent — big frames hurt more
+        — and stays below any health threshold, which is exactly the
+        gray-failure shape hedged requests exist to mask.
+        """
+        host = event.target
+        fabric = self.cloud.fabric
+        factor = max(event.magnitude, 1.0)
+        rate_bps = fabric.config.latency.host_rate_bps
+        slowed = 0
+
+        def tap(packet):
+            nonlocal slowed
+            slowed += 1
+            self.stats.frames_slowed += 1
+            extra = (factor - 1.0) * packet.wire_bytes * 8.0 / rate_bps
+
+            def redeliver():
+                yield self.env.timeout(extra)
+                fabric.inject_delivery(host, packet)
+
+            self.env.process(redeliver(), name=f"slow-peer-{host}")
+            return None
+
+        fabric.install_tap(host, tap)
+        yield self.env.timeout(event.duration)
+        fabric.remove_tap(host, tap)
+        now = self.env.now
+        record.detected_at = record.recovered_at = now
+        if slowed == 0:
+            record.note = f"host {host}: no frames crossed the tap"
+        else:
+            record.note = (f"host {host}: {slowed} frames served "
+                           f"{factor:.0f}x slow for {event.duration:.3f}s")
 
     def _fleet_retransmissions(self) -> int:
         # Sum over every server (not just the campaign hosts): dropping

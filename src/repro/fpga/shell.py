@@ -75,6 +75,8 @@ class RemoteEnvelope:
     payload: Any
     #: Role slot addressed on the destination FPGA.
     dst_role: int = 0
+    #: Absolute deadline of the carried request (seconds), or ``None``.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -83,6 +85,8 @@ class RemoteMessage:
 
     dst_role: int
     payload: Any
+    #: Absolute deadline, mirrored into the LTL frame headers.
+    deadline: Optional[float] = None
 
 
 class FabricLtlTransport:
@@ -156,7 +160,8 @@ class Shell:
         self.ltl: Optional[LtlEngine] = None
         if self.config.with_ltl:
             self.ltl = LtlEngine(env, host_index, config=self.config.ltl,
-                                 name=f"ltl-{host_index}")
+                                 name=f"ltl-{host_index}",
+                                 streams=streams)
             self.ltl.transport = FabricLtlTransport(self)
             self.ltl.on_message = self._ltl_message_in
             self.ltl.on_connection_failed = self._remote_failed
@@ -267,16 +272,21 @@ class Shell:
 
     def remote_send(self, dst_host: int, payload: Any,
                     length_bytes: int, dst_role: int = 0,
-                    src_role: int = 0) -> None:
+                    src_role: int = 0,
+                    deadline: Optional[float] = None) -> None:
         """Role-level API: send a message to a role on another FPGA.
 
         (Short-hand for pushing a :class:`RemoteEnvelope` through the ER's
-        Remote port.)
+        Remote port.)  ``deadline`` (absolute seconds) travels the whole
+        hop: ER virtual channel here, LTL frame headers on the wire, and
+        the ER on the receiving shell — each stage drops the message
+        instead of forwarding once it expires.
         """
         event = self.er.send(
             self.role_port(src_role), ER_PORT_REMOTE,
-            RemoteEnvelope(dst_host, payload, dst_role=dst_role),
-            length_bytes)
+            RemoteEnvelope(dst_host, payload, dst_role=dst_role,
+                           deadline=deadline),
+            length_bytes, deadline=deadline)
         event._defused = True
 
     def _er_remote_out(self, message) -> None:
@@ -290,18 +300,21 @@ class Shell:
                 f"no LTL connection from {self.host_index} to "
                 f"{envelope.dst_host}; call connect_to() first")
         self.ltl.send_message(
-            conn, RemoteMessage(envelope.dst_role, envelope.payload),
-            message.length_bytes)
+            conn, RemoteMessage(envelope.dst_role, envelope.payload,
+                                deadline=envelope.deadline),
+            message.length_bytes, deadline=envelope.deadline)
 
     def _ltl_message_in(self, _conn_id: int, payload: Any,
                         length_bytes: int) -> None:
         """LTL delivered a message: route it to its role through the ER."""
+        deadline: Optional[float] = None
         if isinstance(payload, RemoteMessage):
             dst_role, inner = payload.dst_role, payload.payload
+            deadline = payload.deadline
         else:
             dst_role, inner = 0, payload
         event = self.er.send(ER_PORT_REMOTE, self.role_port(dst_role),
-                             inner, length_bytes)
+                             inner, length_bytes, deadline=deadline)
         event._defused = True
 
     def _role_in(self, role: int, payload: Any,

@@ -26,7 +26,8 @@ from .frames import (
     make_nack,
     nack_range,
 )
-from .ratelimit import BandwidthLimiter, RedConfig, TokenBucket
+from .ratelimit import (BandwidthLimiter, RandomEarlyDropper, RedConfig,
+                        TokenBucket)
 from .transports import DirectTransport, FaultModel
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "LtlFrame",
     "LtlStats",
     "PendingMessage",
+    "RandomEarlyDropper",
     "ReceiveConnectionState",
     "RedConfig",
     "SendConnectionState",

@@ -33,7 +33,7 @@ from itertools import count
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..net.dcqcn import CnpGenerator, DcqcnConfig, DcqcnRateController
-from ..sim import Environment, Event, Store
+from ..sim import Environment, Event, RandomStreams, Store
 from .connection import (
     ConnectionError_,
     ConnectionTable,
@@ -42,6 +42,11 @@ from .connection import (
     SendConnectionState,
     UnackedFrame,
 )
+from ..overload.deadline import (
+    decode_deadline_us,
+    encode_deadline_us,
+    expires_at_of,
+)
 from .frames import (
     LtlFrame,
     make_ack,
@@ -49,7 +54,7 @@ from .frames import (
     make_nack,
     nack_range,
 )
-from .ratelimit import BandwidthLimiter
+from .ratelimit import BandwidthLimiter, RandomEarlyDropper
 
 
 @dataclass
@@ -118,6 +123,12 @@ class LtlStats:
     corrupt_dropped: int = 0
     reconnect_probes: int = 0
     reorder_drops: int = 0
+    #: Messages refused at the send side: deadline already expired when
+    #: the sender handed them to the engine.
+    deadline_expired_tx: int = 0
+    #: Messages reassembled but not delivered to the role: the frame
+    #: header's deadline had expired by delivery time.
+    deadline_expired_rx: int = 0
 
 
 class LtlEngine:
@@ -126,7 +137,8 @@ class LtlEngine:
     def __init__(self, env: Environment, host_index: int,
                  transport: Optional[Any] = None,
                  config: Optional[LtlConfig] = None,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 streams: Optional[RandomStreams] = None):
         self.env = env
         self.host_index = host_index
         self.transport = transport
@@ -156,8 +168,16 @@ class LtlEngine:
             # so the limiter actually shapes sustained traffic.
             burst = max(4 * self.config.mtu_payload_bytes,
                         int(self.config.rate_limit_bps / 8 * 1e-3))
+            # Anchor the bucket at *now* (an engine built mid-sim must
+            # not credit itself the simulated past) and route the RED
+            # draws through the seeded stream registry.
+            dropper = RandomEarlyDropper(
+                streams=streams or RandomStreams(seed=host_index),
+                stream_name=f"{self.name}.red")
             self.limiter = BandwidthLimiter(self.config.rate_limit_bps,
-                                            burst_bytes=burst)
+                                            burst_bytes=burst,
+                                            dropper=dropper,
+                                            start_time=env.now)
         self._cnp = CnpGenerator(self.config.dcqcn)
         self._pump_wakeup = Store(env)
         #: Set while the retransmit timer is parked with nothing unacked;
@@ -205,12 +225,25 @@ class LtlEngine:
     # Send path
     # ------------------------------------------------------------------
     def send_message(self, connection_id: int, payload: Any,
-                     length_bytes: int) -> int:
-        """Fragment and queue a message; returns its message id."""
+                     length_bytes: int, deadline: Any = None) -> int:
+        """Fragment and queue a message; returns its message id.
+
+        ``deadline`` (a :class:`~repro.overload.deadline.Deadline` or an
+        absolute expiry in seconds) rides in every DATA frame header.  A
+        message whose deadline has *already* expired is refused here —
+        before sequence numbers are assigned, so the go-back-N stream
+        stays gapless — accounted in ``stats.deadline_expired_tx``, and
+        ``-1`` is returned instead of a message id.
+        """
         state: SendConnectionState = self.send_table.lookup(connection_id)
         if state.failed:
             raise RuntimeError(
                 f"connection {connection_id} has failed; reprovision it")
+        expires_at = expires_at_of(deadline)
+        if expires_at is not None and self.env.now > expires_at:
+            self.stats.deadline_expired_tx += 1
+            return -1
+        deadline_us = encode_deadline_us(expires_at)
         message_id = next(self._message_ids)
         mtu = self.config.mtu_payload_bytes
         total_fragments = max(1, -(-length_bytes // mtu))
@@ -228,7 +261,8 @@ class LtlEngine:
                 connection_id=state.remote_connection_id,
                 seq=state.next_seq, message_id=message_id,
                 fragment=fragment, total_fragments=total_fragments,
-                payload=frag_payload, payload_bytes=frag_bytes)
+                payload=frag_payload, payload_bytes=frag_bytes,
+                deadline_us=deadline_us)
             state.next_seq += 1
             state.send_queue.append(frame)
         self.stats.messages_sent += 1
@@ -504,6 +538,14 @@ class LtlEngine:
         if pending.complete:
             del state.reassembly[frame.message_id]
             payload, total_bytes = pending.assemble()
+            # Drop-and-account at the delivery point: the protocol still
+            # ACKs the frames (the go-back-N stream must stay gapless),
+            # but an expired message is not handed to the role — the
+            # paper's "degrade statistically" applied end to end.
+            expires_at = decode_deadline_us(frame.deadline_us)
+            if expires_at is not None and self.env.now > expires_at:
+                self.stats.deadline_expired_rx += 1
+                return
             self.stats.messages_delivered += 1
             if self.on_message is not None:
                 self.on_message(state.connection_id, payload, total_bytes)

@@ -34,7 +34,7 @@ FLAG_FIRST_FRAG = 1 << 0
 FLAG_LAST_FRAG = 1 << 1
 FLAG_CONGESTION = 1 << 2  # DC-QCN CNP piggybacked on an ACK
 
-_HEADER_FMT = "!HBBIIIHHHII"
+_HEADER_FMT = "!HBBIIIHHHIII"
 #: Size of the LTL header on the wire.
 LTL_HEADER_BYTES = struct.calcsize(_HEADER_FMT)
 
@@ -55,6 +55,9 @@ class LtlFrame:
     total_fragments: int = 1
     flags: int = 0
     ack_seq: int = 0
+    #: Absolute deadline of the carried message in microseconds of sim
+    #: time (see :mod:`repro.overload.deadline`); 0 means "no deadline".
+    deadline_us: int = 0
     payload: Any = b""
     payload_bytes: int = 0
     #: CRC-32 sealing header + payload; auto-computed when left ``None``.
@@ -108,7 +111,7 @@ class LtlFrame:
             _HEADER_FMT, MAGIC, self.frame_type, self.flags,
             self.connection_id, self.seq, self.message_id, self.fragment,
             self.total_fragments, self.payload_bytes & 0xFFFF,
-            self.ack_seq, 0)
+            self.ack_seq, self.deadline_us & 0xFFFFFFFF, 0)
         crc = zlib.crc32(head)
         if isinstance(self.payload, (bytes, bytearray)):
             crc = zlib.crc32(bytes(self.payload), crc)
@@ -123,6 +126,7 @@ class LtlFrame:
             _HEADER_FMT, MAGIC, self.frame_type, self.flags,
             self.connection_id, self.seq, self.message_id, self.fragment,
             self.total_fragments, self.payload_bytes & 0xFFFF, self.ack_seq,
+            self.deadline_us & 0xFFFFFFFF,
             (self.checksum or 0) & 0xFFFFFFFF)
 
     @classmethod
@@ -130,8 +134,8 @@ class LtlFrame:
         if len(raw) < LTL_HEADER_BYTES:
             raise ValueError("truncated LTL header")
         (magic, frame_type, flags, connection_id, seq, message_id, fragment,
-         total_fragments, payload_bytes, ack_seq, checksum) = struct.unpack(
-            _HEADER_FMT, raw[:LTL_HEADER_BYTES])
+         total_fragments, payload_bytes, ack_seq, deadline_us,
+         checksum) = struct.unpack(_HEADER_FMT, raw[:LTL_HEADER_BYTES])
         if magic != MAGIC:
             raise ValueError(f"bad LTL magic: {magic:#x}")
         return cls(frame_type=frame_type, flags=flags,
@@ -139,12 +143,13 @@ class LtlFrame:
                    message_id=message_id, fragment=fragment,
                    total_fragments=total_fragments,
                    payload=b"", payload_bytes=payload_bytes,
-                   ack_seq=ack_seq, checksum=checksum)
+                   ack_seq=ack_seq, deadline_us=deadline_us,
+                   checksum=checksum)
 
 
 def make_data_frame(connection_id: int, seq: int, message_id: int,
                     fragment: int, total_fragments: int, payload: Any,
-                    payload_bytes: int) -> LtlFrame:
+                    payload_bytes: int, deadline_us: int = 0) -> LtlFrame:
     """Build a DATA frame with first/last-fragment flags set correctly."""
     flags = 0
     if fragment == 0:
@@ -154,6 +159,7 @@ def make_data_frame(connection_id: int, seq: int, message_id: int,
     return LtlFrame(frame_type=TYPE_DATA, connection_id=connection_id,
                     seq=seq, message_id=message_id, fragment=fragment,
                     total_fragments=total_fragments, flags=flags,
+                    deadline_us=deadline_us,
                     payload=payload, payload_bytes=payload_bytes)
 
 

@@ -7,27 +7,44 @@ from exceeding a configurable bandwidth limit" and the network tap performs
 :class:`TokenBucket` is the pacing primitive; :class:`RandomEarlyDropper`
 converts sustained over-limit pressure into an increasing drop
 probability, so a misbehaving role degrades statistically rather than
-head-of-line blocking the bump-in-the-wire datapath.
+head-of-line blocking the bump-in-the-wire datapath.  The dropper draws
+from a named :class:`~repro.sim.randomness.RandomStreams` stream so a
+seeded cloud replays its drop pattern bit-identically.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.randomness import RandomStreams
 
 
 class TokenBucket:
-    """Classic token bucket: ``rate_bps`` refill, ``burst_bytes`` depth."""
+    """Classic token bucket: ``rate_bps`` refill, ``burst_bytes`` depth.
 
-    def __init__(self, rate_bps: float, burst_bytes: int):
+    ``start_time`` anchors the refill clock.  A bucket created mid-
+    simulation used to anchor at 0.0 and so credited itself the entire
+    simulated past on first use — harmless for a bucket that starts
+    full, but silently wrong for one that starts partially drained.
+    """
+
+    def __init__(self, rate_bps: float, burst_bytes: int,
+                 start_time: float = 0.0,
+                 initial_tokens: Optional[float] = None):
         if rate_bps <= 0:
             raise ValueError("rate must be positive")
         if burst_bytes <= 0:
             raise ValueError("burst must be positive")
         self.rate_bps = rate_bps
         self.burst_bytes = burst_bytes
-        self._tokens = float(burst_bytes)
-        self._last_refill = 0.0
+        if initial_tokens is None:
+            initial_tokens = float(burst_bytes)
+        if not 0.0 <= initial_tokens <= burst_bytes:
+            raise ValueError("initial_tokens must be in [0, burst_bytes]")
+        self._tokens = float(initial_tokens)
+        self._last_refill = start_time
 
     def _refill(self, now: float) -> None:
         elapsed = now - self._last_refill
@@ -69,6 +86,38 @@ class RedConfig:
         return self.max_drop_probability * depletion
 
 
+class RandomEarlyDropper:
+    """The RED decision: *should this frame drop, given bucket fill?*
+
+    Draws come from a :class:`RandomStreams` child stream (default name
+    ``"ltl.red"``) rather than an ad-hoc ``random.Random``: RED is the
+    one stochastic element of the LTL datapath, and routing it through
+    the simulation's seeded stream registry keeps whole-cloud replays
+    deterministic no matter how many frames other components draw for.
+    A stream is only consumed while the ramp is actually nonzero, so an
+    idle (never-over-limit) limiter consumes no randomness at all.
+    """
+
+    def __init__(self, config: Optional[RedConfig] = None,
+                 rng: Optional[random.Random] = None,
+                 streams: Optional[RandomStreams] = None,
+                 stream_name: str = "ltl.red"):
+        self.config = config or RedConfig()
+        if rng is None:
+            rng = (streams or RandomStreams(seed=0)).stream(stream_name)
+        self.rng = rng
+        self.drops = 0
+        self.passes = 0
+
+    def should_drop(self, fill_fraction: float) -> bool:
+        probability = self.config.drop_probability(fill_fraction)
+        if probability > 0.0 and self.rng.random() < probability:
+            self.drops += 1
+            return True
+        self.passes += 1
+        return False
+
+
 class BandwidthLimiter:
     """Token bucket + random early drops, as the LTL tap implements.
 
@@ -78,17 +127,31 @@ class BandwidthLimiter:
     """
 
     def __init__(self, rate_bps: float, burst_bytes: int = 256 * 1024,
-                 red: RedConfig | None = None,
-                 rng: random.Random | None = None):
-        self.bucket = TokenBucket(rate_bps, burst_bytes)
-        self.red = red or RedConfig()
-        self.rng = rng or random.Random(0)
+                 red: Optional[RedConfig] = None,
+                 rng: Optional[random.Random] = None,
+                 dropper: Optional[RandomEarlyDropper] = None,
+                 start_time: float = 0.0):
+        self.bucket = TokenBucket(rate_bps, burst_bytes,
+                                  start_time=start_time)
+        if dropper is None:
+            dropper = RandomEarlyDropper(config=red, rng=rng)
+        elif red is not None or rng is not None:
+            raise ValueError("pass either dropper or red/rng, not both")
+        self.dropper = dropper
         self.admitted = 0
         self.dropped = 0
 
+    @property
+    def red(self) -> RedConfig:
+        return self.dropper.config
+
+    @property
+    def rng(self) -> random.Random:
+        return self.dropper.rng
+
     def admit(self, nbytes: int, now: float) -> bool:
         fill = self.bucket.fill_fraction(now)
-        if self.rng.random() < self.red.drop_probability(fill):
+        if self.dropper.should_drop(fill):
             self.dropped += 1
             return False
         if self.bucket.try_consume(nbytes, now):

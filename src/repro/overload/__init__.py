@@ -1,0 +1,51 @@
+"""End-to-end overload protection: deadlines, admission, hedging.
+
+The robustness half of ROADMAP item 2: make the reproduced ranking
+pipeline survive *load* the way :mod:`repro.faults` made it survive
+*faults*.  Three cooperating mechanisms:
+
+* :mod:`repro.overload.deadline` — a latency budget rides with every
+  request (including across the LTL wire) and every stage drops
+  expired work instead of processing it.
+* :mod:`repro.overload.admission` — a CoDel-style queue-delay
+  controller drives a degradation ladder (full → degraded → shed) at
+  the ranking server, replacing unbounded queueing.
+* :mod:`repro.overload.hedging` — budget-capped hedged requests tame
+  the remote-FPGA tail without amplifying load.
+"""
+
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionStats,
+    CoDelController,
+    ServiceLevel,
+)
+from .deadline import (
+    MAX_DEADLINE_US,
+    NO_DEADLINE_US,
+    Deadline,
+    DeadlineStats,
+    decode_deadline_us,
+    encode_deadline_us,
+    expires_at_of,
+)
+from .hedging import HedgeConfig, HedgeController, HedgeStats
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionStats",
+    "CoDelController",
+    "ServiceLevel",
+    "Deadline",
+    "DeadlineStats",
+    "MAX_DEADLINE_US",
+    "NO_DEADLINE_US",
+    "decode_deadline_us",
+    "encode_deadline_us",
+    "expires_at_of",
+    "HedgeConfig",
+    "HedgeController",
+    "HedgeStats",
+]

@@ -23,8 +23,17 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..core.metrics import LatencyRecorder
+from ..core.metrics import LatencyRecorder, SloTracker
 from ..haas.fpga_manager import FpgaHealth, FpgaManager
+from ..overload import (
+    AdmissionConfig,
+    AdmissionController,
+    Deadline,
+    DeadlineStats,
+    HedgeConfig,
+    HedgeController,
+    ServiceLevel,
+)
 from ..sim import Environment, Resource
 from .ffu import FfuConfig, FfuDpfRole, QueryWork, SoftwareTimingModel, \
     WorkloadModel
@@ -43,6 +52,41 @@ class RemoteAccessConfig:
     round_trip: float = 2.9e-6           # same-TOR pool locality
     ltl_bandwidth_bps: float = 38e9      # LTL goodput on the 40G port
     per_message_overhead: float = 2.0e-6  # ER + packetization both ends
+    #: Tail variability of the remote hop: with this probability a
+    #: request lands on a momentarily slow pool FPGA (limplocked peer,
+    #: SEU scrub pass, contended DRAM) and takes ``slow_factor`` times
+    #: the nominal service time.  Default 0 = the classic deterministic
+    #: model; hedging only matters when a tail exists.
+    slow_probability: float = 0.0
+    slow_factor: float = 1.0
+
+
+@dataclass
+class OverloadConfig:
+    """End-to-end overload protection for one ranking server.
+
+    Attach to :class:`RankingServiceConfig` to enable; ``None`` (the
+    default) preserves the classic unprotected behavior exactly.
+
+    ``admission_enabled`` / ``deadline_enforcement`` exist so the
+    *unprotected* baseline in overload experiments can still stamp
+    deadlines and account SLO misses (apples-to-apples goodput) while
+    actually shedding or dropping nothing.
+    """
+
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Deadline budget stamped on arrivals that don't carry one.
+    default_budget: float = 8e-3
+    #: Candidate-set fraction kept at the DEGRADED rung.
+    degraded_fraction: float = 0.25
+    #: Hedged remote requests (remote mode only); ``None`` disables.
+    hedge: Optional[HedgeConfig] = None
+    #: Master switch for the shed/degrade ladder.
+    admission_enabled: bool = True
+    #: Master switch for dropping expired work mid-path.
+    deadline_enforcement: bool = True
+    #: Cost of a fast rejection (error serialization, connection reset).
+    reject_latency: float = 10e-6
 
 
 @dataclass
@@ -57,6 +101,8 @@ class RankingServiceConfig:
         default_factory=SoftwareTimingModel)
     ffu: FfuConfig = field(default_factory=FfuConfig)
     remote: RemoteAccessConfig = field(default_factory=RemoteAccessConfig)
+    #: Overload protection; ``None`` = classic unprotected server.
+    overload: Optional[OverloadConfig] = None
 
 
 class RankingServer:
@@ -78,14 +124,45 @@ class RankingServer:
         self.fpga_available = True
         self.software_fallbacks = 0
 
+        # Overload protection (None unless configured).
+        ov = config.overload
+        self.admission: Optional[AdmissionController] = None
+        self.hedge: Optional[HedgeController] = None
+        self.slo: Optional[SloTracker] = None
+        self.deadline_stats = DeadlineStats()
+        self.degraded_queries = 0
+        self.rejected = 0
+        if ov is not None:
+            self.admission = AdmissionController(ov.admission,
+                                                 start_time=env.now)
+            self.slo = SloTracker()
+            if ov.hedge is not None:
+                self.hedge = HedgeController(ov.hedge)
+        #: EWMA of per-grant core hold time, seeding the door-side
+        #: queue-delay prediction before any query has been measured.
+        self._core_hold_ewma = config.software.pre_seconds
+
+    # ------------------------------------------------------------------
+    def _note_core_hold(self, hold: float) -> None:
+        self._core_hold_ewma += 0.2 * (hold - self._core_hold_ewma)
+
+    def predicted_core_delay(self) -> float:
+        """Instantaneous estimate of the wait a new arrival would see."""
+        return (len(self.cores.queue) * self._core_hold_ewma
+                / self.config.num_cores)
+
     # ------------------------------------------------------------------
     def fail_fpga(self) -> None:
         """Accelerator lost: degrade to the software timing model."""
         self.fpga_available = False
+        if self.admission is not None:
+            self.admission.fpga_healthy = False
 
     def restore_fpga(self) -> None:
         """Accelerator capacity is back: resume hardware scoring."""
         self.fpga_available = True
+        if self.admission is not None:
+            self.admission.fpga_healthy = True
 
     def bind_fpga_health(self, manager: FpgaManager) -> None:
         """Follow an FPGA Manager's health: degrade to software whenever
@@ -112,18 +189,98 @@ class RankingServer:
             return self.config.software.feature_time(work)
         if mode is AccelerationMode.LOCAL_FPGA:
             return self.role.local_service_time(work)
+        return self._remote_base_time(work)
+
+    def _remote_base_time(self, work: QueryWork) -> float:
         remote = self.config.remote
         network = (remote.round_trip
                    + work.document_bytes * 8 / remote.ltl_bandwidth_bps
                    + remote.per_message_overhead)
         return network + self.role.compute_time(work)
 
+    def _remote_sample(self, work: QueryWork) -> float:
+        """One draw of the remote hop, including the slow-peer tail."""
+        remote = self.config.remote
+        base = self._remote_base_time(work)
+        if remote.slow_probability > 0.0 and \
+                self.rng.random() < remote.slow_probability:
+            return base * remote.slow_factor
+        return base
+
+    def _remote_feature_time(self, work: QueryWork) -> float:
+        """Remote feature extraction, hedged when configured.
+
+        Hedging is modeled at the latency level: the primary and hedge
+        are independent draws (different pool FPGAs), the hedge starts
+        after the P95-derived delay, and the faster leg wins.  The
+        duplicated backend load is bounded by the hedge budget — the
+        controller refuses hedges past ``budget_fraction`` of primaries.
+        """
+        if self.config.mode is not AccelerationMode.REMOTE_FPGA:
+            return self.feature_stage_time(work)
+        primary = self._remote_sample(work)
+        hc = self.hedge
+        if hc is None:
+            return primary
+        hc.on_primary()
+        effective = primary
+        delay = hc.hedge_delay()
+        if delay is not None and primary > delay and hc.try_acquire_hedge():
+            hedged = delay + self._remote_sample(work)
+            if hedged < primary:
+                effective = hedged
+                hc.on_win(True)
+            else:
+                hc.on_win(False)
+        hc.observe(effective)
+        return effective
+
+    def _expire(self, stage: str) -> None:
+        self.deadline_stats.drop(stage)
+        if self.slo is not None:
+            self.slo.expire()
+
     def handle_query(self, work: Optional[QueryWork] = None):
-        """Process: one query through pre -> features -> post."""
+        """Process: one query through pre -> features -> post.
+
+        With :class:`OverloadConfig` attached this becomes the protected
+        path: admission decides shed/degrade on arrival, the measured
+        core-queue delay feeds the CoDel controller, and every stage
+        boundary drops work whose deadline has already expired.
+        """
         if work is None:
             work = self.config.workload.sample(self.rng)
         arrival = self.env.now
         software = self.config.software
+        ov = self.config.overload
+
+        deadline: Optional[Deadline] = work.deadline
+        enforce = False
+        if ov is not None:
+            if deadline is None:
+                deadline = Deadline.from_budget(arrival, ov.default_budget)
+                work.deadline = deadline
+            enforce = ov.deadline_enforcement
+            if self.slo is not None:
+                self.slo.offer(arrival)
+            degraded = False
+            if ov.admission_enabled and self.admission is not None:
+                level = self.admission.admit(
+                    arrival, predicted_delay=self.predicted_core_delay())
+                if level is ServiceLevel.SHED:
+                    # Reject-with-fast-error: the client hears in
+                    # microseconds, the server spends ~nothing.
+                    self.rejected += 1
+                    if self.slo is not None:
+                        self.slo.shed_one()
+                    yield self.env.timeout(ov.reject_latency)
+                    return None
+                if level is ServiceLevel.DEGRADED:
+                    self.degraded_queries += 1
+                    degraded = True
+                    work = work.pruned(ov.degraded_fraction)
+            if self.slo is not None:
+                self.slo.admit(degraded=degraded)
 
         accelerated = (self.config.mode is not AccelerationMode.SOFTWARE
                        and self.fpga_available)
@@ -134,24 +291,58 @@ class RankingServer:
             # The owning thread runs all stages back to back.
             with self.cores.request() as core:
                 yield core
-                yield self.env.timeout(software.pre_time(work)
-                                       + software.feature_time(work)
-                                       + software.post_time(work))
+                queue_delay = self.env.now - arrival
+                if self.admission is not None:
+                    self.admission.on_queue_delay(queue_delay, self.env.now)
+                if enforce and deadline is not None \
+                        and deadline.expired(self.env.now):
+                    self._expire("core-queue")
+                    return None
+                hold = (software.pre_time(work)
+                        + software.feature_time(work)
+                        + software.post_time(work))
+                self._note_core_hold(hold)
+                yield self.env.timeout(hold)
         else:
             with self.cores.request() as core:
                 yield core
-                yield self.env.timeout(software.pre_time(work))
+                queue_delay = self.env.now - arrival
+                if self.admission is not None:
+                    self.admission.on_queue_delay(queue_delay, self.env.now)
+                if enforce and deadline is not None \
+                        and deadline.expired(self.env.now):
+                    self._expire("core-queue")
+                    return None
+                hold = software.pre_time(work)
+                self._note_core_hold(hold)
+                yield self.env.timeout(hold)
             # Core released while the FPGA does the heavy lifting.
             with self.fpga_slots.request() as slot:
                 yield slot
-                yield self.env.timeout(self.feature_stage_time(work))
+                if enforce and deadline is not None \
+                        and deadline.expired(self.env.now):
+                    self._expire("fpga-queue")
+                    return None
+                yield self.env.timeout(self._remote_feature_time(work)
+                                       if self.config.mode
+                                       is AccelerationMode.REMOTE_FPGA
+                                       else self.feature_stage_time(work))
             with self.cores.request() as core:
                 yield core
-                yield self.env.timeout(software.post_time(work))
+                if enforce and deadline is not None \
+                        and deadline.expired(self.env.now):
+                    self._expire("post-queue")
+                    return None
+                hold = software.post_time(work)
+                self._note_core_hold(hold)
+                yield self.env.timeout(hold)
 
         self.completed += 1
         latency = self.env.now - arrival
         self.latency.record(latency)
+        if self.slo is not None:
+            missed = deadline is not None and deadline.expired(self.env.now)
+            self.slo.complete(self.env.now, missed_deadline=missed)
         return latency
 
 
@@ -223,3 +414,137 @@ def latency_vs_throughput(config: RankingServiceConfig,
     return [run_open_loop(config, rate, num_queries=num_queries,
                           seed=seed + i)
             for i, rate in enumerate(rates_qps)]
+
+
+# ----------------------------------------------------------------------
+# Surge experiments (overload protection)
+# ----------------------------------------------------------------------
+@dataclass
+class SurgePhase:
+    """One phase (pre / surge / post) of a surge experiment."""
+
+    name: str
+    start: float
+    end: float
+    #: SLO counter deltas over the phase (see SloTracker.snapshot()).
+    slo: Dict[str, int]
+    #: Latency of requests *completed* during the phase (admitted only —
+    #: shed requests never produce a completion).
+    latency: LatencyRecorder
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def goodput_qps(self) -> float:
+        """Within-deadline completions per second during the phase."""
+        if self.duration <= 0:
+            return 0.0
+        return self.slo["good"] / self.duration
+
+    @property
+    def offered_qps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.slo["offered"] / self.duration
+
+
+@dataclass
+class SurgeResult:
+    """Outcome of one flash-crowd run against a ranking server."""
+
+    phases: Dict[str, SurgePhase]
+    server: "RankingServer"
+
+    def row(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name, phase in self.phases.items():
+            out[f"{name}_offered_qps"] = phase.offered_qps
+            out[f"{name}_goodput_qps"] = phase.goodput_qps
+            if phase.latency.count:
+                out[f"{name}_p99"] = phase.latency.p99
+        out["rejected"] = float(self.server.rejected)
+        out["degraded"] = float(self.server.degraded_queries)
+        out["deadline_drops"] = float(self.server.deadline_stats.total)
+        if self.server.hedge is not None:
+            out["hedge_fraction"] = self.server.hedge.stats.hedge_fraction
+        return out
+
+
+def run_surge(config: RankingServiceConfig, profile,
+              duration: Optional[float] = None,
+              seed: int = 0) -> SurgeResult:
+    """Drive one server through a flash crowd; report per-phase SLO.
+
+    ``profile`` is a :class:`repro.workloads.FlashCrowdProfile` (anything
+    with ``rate(t)``, ``peak_qps``, ``surge_start``, ``surge_end`` and
+    ``ramp`` works).  The run is split into *pre* (before the surge),
+    *surge* and *post* phases; goodput and admitted-latency percentiles
+    are accounted per phase by completion time, so the gates of ISSUE 6
+    ("goodput under surge >= 85% of pre-surge", "admitted P99 <= 3x
+    pre-surge P99") read straight off the result.
+
+    Requires ``config.overload`` — the unprotected baseline is expressed
+    as an :class:`OverloadConfig` with ``admission_enabled=False`` and
+    ``deadline_enforcement=False``, which stamps deadlines and accounts
+    SLO misses without shedding or dropping anything.
+    """
+    if config.overload is None:
+        raise ValueError(
+            "run_surge needs config.overload (use admission_enabled=False "
+            "for an unprotected-but-accounted baseline)")
+    from ..workloads.surge import VariableRateArrivals
+
+    if duration is None:
+        duration = profile.surge_end + profile.surge_start
+    env = Environment()
+    server = RankingServer(env, config, rng=random.Random(seed + 1))
+    bounds = [
+        ("pre", 0.0, profile.surge_start),
+        ("surge", profile.surge_start, profile.surge_end),
+        ("post", min(profile.surge_end + profile.ramp, duration), duration),
+    ]
+    recorders = {name: LatencyRecorder(name) for name, _, _ in bounds}
+
+    def phase_of(t: float) -> Optional[str]:
+        for name, start, end in bounds:
+            if start <= t < end:
+                return name
+        return None
+
+    def one_query():
+        latency = yield from server.handle_query()
+        if latency is not None:
+            name = phase_of(env.now)
+            if name is not None:
+                recorders[name].record(latency)
+
+    def submit() -> None:
+        env.process(one_query())
+
+    VariableRateArrivals(
+        env, profile.rate, max_rate=profile.peak_qps * 1.001,
+        submit=submit, rng=random.Random(seed), until=duration)
+
+    snapshots: Dict[float, Dict[str, int]] = {}
+    sample_times = sorted({t for _, start, end in bounds
+                           for t in (start, end)})
+
+    def sampler():
+        for t in sample_times:
+            if t > env.now:
+                yield env.timeout(t - env.now)
+            snapshots[t] = server.slo.snapshot()
+
+    env.process(sampler(), name="surge-sampler")
+    env.run()
+
+    phases: Dict[str, SurgePhase] = {}
+    for name, start, end in bounds:
+        before = snapshots.get(start, server.slo.snapshot())
+        after = snapshots.get(end, server.slo.snapshot())
+        delta = {k: after[k] - before[k] for k in after}
+        phases[name] = SurgePhase(name=name, start=start, end=end,
+                                  slo=delta, latency=recorders[name])
+    return SurgeResult(phases=phases, server=server)

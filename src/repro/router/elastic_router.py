@@ -42,6 +42,9 @@ class RouterStats:
     injection_stall_cycles: int = 0
     peak_buffer_occupancy: int = 0
     per_vc_delivered: Dict[int, int] = field(default_factory=dict)
+    #: Messages fully switched but dropped at the output port because
+    #: their deadline expired in transit (see :mod:`repro.overload`).
+    deadline_drops: int = 0
 
 
 class ElasticRouter:
@@ -104,17 +107,20 @@ class ElasticRouter:
         self._endpoints[port] = deliver
 
     def send(self, src_port: int, dst_port: int, payload: Any,
-             length_bytes: int, vc: int = 0) -> Event:
+             length_bytes: int, vc: int = 0,
+             deadline: Optional[float] = None) -> Event:
         """Inject a message; returns an event that succeeds once the last
         flit has entered the input buffer (i.e. the sender may reuse its
-        staging space)."""
+        staging space).  ``deadline`` is an absolute expiry instant; a
+        message still in flight past it is dropped at delivery and
+        counted in ``stats.deadline_drops``."""
         self._check_port(src_port)
         self._check_port(dst_port)
         if not 0 <= vc < self.num_vcs:
             raise ValueError(f"vc {vc} out of range")
         message = Message(src_port=src_port, dst_port=dst_port, vc=vc,
                           payload=payload, length_bytes=length_bytes,
-                          injected_at=self.env.now)
+                          injected_at=self.env.now, deadline=deadline)
         flits = packetize(message, self.flit_bytes)
         done = self.env.event()
         for flit in flits:
@@ -124,9 +130,11 @@ class ElasticRouter:
         return done
 
     def inject(self, src_port: int, dst_port: int, payload: Any,
-               length_bytes: int, vc: int = 0) -> Message:
+               length_bytes: int, vc: int = 0,
+               deadline: Optional[float] = None) -> Message:
         """Fire-and-forget variant of :meth:`send`."""
-        event = self.send(src_port, dst_port, payload, length_bytes, vc)
+        event = self.send(src_port, dst_port, payload, length_bytes, vc,
+                          deadline=deadline)
         event._defused = True
         # The message object is reachable through the queued flits.
         return self._pending[src_port][-1][0].message
@@ -236,6 +244,12 @@ class ElasticRouter:
                 f"{self.name}: interleaved messages on output "
                 f"({out_port}, vc {vc})")
         message.delivered_at = self.env.now
+        # Deadline check at the output port: an expired message has
+        # already consumed its crossbar bandwidth, but the endpoint's
+        # time is still worth saving (drop-and-account).
+        if message.deadline is not None and self.env.now > message.deadline:
+            self.stats.deadline_drops += 1
+            return
         self.stats.messages_delivered += 1
         self.stats.per_vc_delivered[vc] = \
             self.stats.per_vc_delivered.get(vc, 0) + 1

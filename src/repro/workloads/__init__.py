@@ -1,4 +1,5 @@
-"""Workload generators: arrival processes and the five-day load trace."""
+"""Workload generators: arrival processes, the five-day load trace, and
+surge (flash-crowd / diurnal-spike) profiles."""
 
 from .arrivals import PoissonArrivals, closed_loop_arrivals
 from .diurnal import (
@@ -7,11 +8,19 @@ from .diurnal import (
     apply_load_balancer_cap,
     five_day_trace,
 )
+from .surge import (
+    DiurnalSpikeProfile,
+    FlashCrowdProfile,
+    VariableRateArrivals,
+)
 
 __all__ = [
+    "DiurnalSpikeProfile",
     "DiurnalTraceConfig",
+    "FlashCrowdProfile",
     "LoadSample",
     "PoissonArrivals",
+    "VariableRateArrivals",
     "apply_load_balancer_cap",
     "closed_loop_arrivals",
     "five_day_trace",

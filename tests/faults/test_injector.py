@@ -195,6 +195,56 @@ class TestControlStall:
         assert len(service.hosts) == 2
 
 
+class TestLoadSpike:
+    def test_spike_drives_the_load_hook(self):
+        cloud, service, client, delivered = build()
+        env = cloud.env
+        injector = FaultInjector(cloud, hosts=POOL, seed=1)
+        multipliers = []
+        injector.load_hook = multipliers.append
+        injector.run_campaign([FaultEvent(
+            at=env.now + 0.5, kind=FaultKind.LOAD_SPIKE,
+            duration=2.0, magnitude=5.0)])
+        env.run(until=env.now + 5.0)
+        rec = injector.records[0]
+        # Hook sees the spike on, then restored to 1.0 at expiry.
+        assert multipliers == [5.0, 1.0]
+        assert rec.recovered_at - rec.detected_at == 2.0
+        assert injector.stats.load_spikes == 1
+
+    def test_spike_elided_without_hook(self):
+        """No workload attached: the record closes immediately instead
+        of dangling unresolved in a chaos soak."""
+        cloud, service, client, delivered = build()
+        env = cloud.env
+        injector = FaultInjector(cloud, hosts=POOL, seed=1)
+        injector.run_campaign([FaultEvent(
+            at=env.now + 0.5, kind=FaultKind.LOAD_SPIKE,
+            duration=2.0, magnitude=5.0)])
+        env.run(until=env.now + 1.0)
+        rec = injector.records[0]
+        assert rec.resolved
+        assert rec.recovered_at == rec.detected_at
+        assert "elided" in rec.note
+
+
+class TestSlowPeer:
+    def test_limplock_slows_frames_without_tripping_health(self):
+        cloud, service, inj, rec, delivered, sent = attack(
+            FaultKind.SLOW_PEER, duration=2.0, magnitude=8.0,
+            post=10.0)
+        assert inj.stats.frames_slowed > 0
+        assert rec.resolved
+        # Self-closing: the limplock never trips a health check, so
+        # the tap removal is the recovery boundary.
+        assert rec.recovered_at == rec.detected_at
+        # The victim kept serving throughout — no failover fired.
+        assert service.failovers == 0
+        assert rec.event.target in service.hosts
+        # And the slowdown is a delay, not a drop: delivery holds.
+        assert len(delivered) >= 0.98 * sent[0]
+
+
 class TestCampaignDriving:
     def test_events_fire_at_scheduled_times(self):
         cloud, service, client, delivered = build()

@@ -1,0 +1,148 @@
+"""ServiceManager replacement-retry backoff.
+
+When the pool is exhausted, a Service Manager's lost components go on a
+pending list and a single background loop retries with exponential
+backoff.  These tests pin the contract: the interval doubles up to
+``retry_backoff_max``, a successful replacement resets it, and the loop
+deactivates when drained and re-arms (once) on the next loss.
+"""
+
+import pytest
+
+from repro.core import ConfigurableCloud
+from repro.fpga import Image
+from repro.haas import Constraints, ServiceManager
+from repro.net import TopologyConfig, idle
+
+
+def make_cloud(*indices):
+    cloud = ConfigurableCloud(
+        topology=TopologyConfig(background=idle()), seed=1)
+    for i in indices:
+        cloud.add_server(i)
+    return cloud
+
+
+def make_sm(cloud, backoff=0.5, backoff_max=4.0):
+    sm = ServiceManager(cloud.env, "svc", cloud.resource_manager,
+                        Image("svc-v1", "svc"), Constraints(count=1),
+                        retry_backoff=backoff,
+                        retry_backoff_max=backoff_max)
+    return sm
+
+
+def record_attempts(cloud, sm, results):
+    """Replace ``_try_replace`` with a script; returns the attempt log."""
+    attempts = []
+    outcomes = list(results)
+
+    def scripted():
+        attempts.append(cloud.env.now)
+        if outcomes:
+            outcome = outcomes.pop(0)
+        else:
+            outcome = False
+        if outcome:
+            sm.stats.replacements += 1
+        return outcome
+
+    sm._try_replace = scripted
+    return attempts
+
+
+class TestBackoffSchedule:
+    def test_interval_doubles_and_caps_at_max(self):
+        cloud = make_cloud(0)
+        sm = make_sm(cloud, backoff=0.5, backoff_max=4.0)
+        attempts = record_attempts(cloud, sm, results=[])
+        sm.pending_replacements = 1
+        sm._ensure_retry_loop()
+        cloud.run(until=20.0)
+        gaps = [b - a for a, b in zip(attempts, attempts[1:])]
+        # 0.5 -> 1 -> 2 -> 4, then pinned at retry_backoff_max.
+        assert attempts[0] == pytest.approx(0.5)
+        assert gaps[:3] == pytest.approx([1.0, 2.0, 4.0])
+        assert all(g == pytest.approx(4.0) for g in gaps[3:])
+        assert len(gaps) >= 5
+
+    def test_success_resets_backoff(self):
+        cloud = make_cloud(0)
+        sm = make_sm(cloud, backoff=0.5, backoff_max=4.0)
+        # Fail twice (backoff reaches 2.0), then one success, then keep
+        # failing: the post-success interval must restart at 0.5.
+        attempts = record_attempts(
+            cloud, sm, results=[False, False, True, False, False])
+        sm.pending_replacements = 2
+        sm._ensure_retry_loop()
+        cloud.run(until=10.0)
+        assert attempts[0] == pytest.approx(0.5)   # initial backoff
+        assert attempts[1] == pytest.approx(1.5)   # +1.0 (doubled)
+        assert attempts[2] == pytest.approx(3.5)   # +2.0 (doubled)
+        # The success at 3.5 drains one pending replacement and retries
+        # the remaining one in the same wakeup...
+        assert attempts[3] == pytest.approx(3.5)
+        # ...which failed, so the next sleep is the *reset* base backoff
+        # doubled once (0.5 -> 1.0).  Without the reset the wakeup would
+        # come a full capped 4.0 s later, at 7.5.
+        assert attempts[4] == pytest.approx(4.5)
+        assert sm.pending_replacements == 1
+
+    def test_loop_drains_and_rearms(self):
+        cloud = make_cloud(0)
+        sm = make_sm(cloud, backoff=0.5)
+        attempts = record_attempts(cloud, sm, results=[True])
+        sm.pending_replacements = 1
+        sm._ensure_retry_loop()
+        assert sm._retry_loop_active
+        cloud.run(until=1.0)
+        # Drained: loop exits and deactivates.
+        assert sm.pending_replacements == 0
+        assert not sm._retry_loop_active
+        assert attempts == [pytest.approx(0.5)]
+        # A later loss re-arms a fresh loop at the base backoff.
+        sm.pending_replacements = 1
+        sm._ensure_retry_loop()
+        assert sm._retry_loop_active
+        cloud.run(until=1.6)
+        assert attempts[1] == pytest.approx(1.5)
+
+    def test_ensure_is_idempotent_while_active(self):
+        cloud = make_cloud(0)
+        sm = make_sm(cloud, backoff=0.5)
+        attempts = record_attempts(cloud, sm, results=[])
+        sm.pending_replacements = 1
+        sm._ensure_retry_loop()
+        sm._ensure_retry_loop()
+        sm._ensure_retry_loop()
+        cloud.run(until=0.6)
+        # One loop, one attempt — not three.
+        assert attempts == [pytest.approx(0.5)]
+
+
+class TestBackoffEndToEnd:
+    def test_replacement_after_pool_frees_up(self):
+        """Pool exhausted at loss time; a later release lets the retry
+        loop replace the component and drain itself."""
+        cloud = make_cloud(0, 1)
+        rm = cloud.resource_manager
+        other = rm.acquire("other", Constraints(count=1))
+        sm = make_sm(cloud, backoff=0.5, backoff_max=4.0)
+        sm.grow(1)
+        assert rm.free_hosts() == []
+
+        victim = sm.hosts[0]
+        rm.manager(victim).mark_failed()
+        assert sm.pending_replacements == 1
+        assert sm.hosts == []
+        assert sm._retry_loop_active
+
+        def free_later(env):
+            yield env.timeout(2.0)
+            rm.release(other)
+
+        cloud.env.process(free_later(cloud.env))
+        cloud.run(until=10.0)
+        assert sm.pending_replacements == 0
+        assert not sm._retry_loop_active
+        assert sm.stats.replacements == 1
+        assert sm.hosts and sm.hosts[0] != victim

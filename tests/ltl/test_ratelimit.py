@@ -4,7 +4,9 @@ import random
 
 import pytest
 
-from repro.ltl.ratelimit import BandwidthLimiter, RedConfig, TokenBucket
+from repro.ltl.ratelimit import (BandwidthLimiter, RandomEarlyDropper,
+                                 RedConfig, TokenBucket)
+from repro.sim.randomness import RandomStreams
 
 
 class TestTokenBucket:
@@ -29,6 +31,28 @@ class TestTokenBucket:
             TokenBucket(rate_bps=0, burst_bytes=100)
         with pytest.raises(ValueError):
             TokenBucket(rate_bps=1e6, burst_bytes=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_bps=1e6, burst_bytes=100,
+                        initial_tokens=101.0)
+
+    def test_start_time_anchors_refill(self):
+        """Regression: a bucket created mid-simulation must not credit
+        itself refill for the simulated past (``_last_refill`` used to
+        anchor at 0.0 regardless of creation time)."""
+        bucket = TokenBucket(rate_bps=8e6, burst_bytes=1000,
+                             start_time=100.0, initial_tokens=0.0)
+        # At creation time there is no credit at all...
+        assert not bucket.try_consume(1, now=100.0)
+        # ...and 0.1 ms later exactly 100 bytes, not 100 s worth.
+        assert not bucket.try_consume(101, now=100.0001)
+        assert bucket.try_consume(100, now=100.0001)
+
+    def test_initial_tokens_partial(self):
+        bucket = TokenBucket(rate_bps=8e6, burst_bytes=1000,
+                             initial_tokens=250.0)
+        assert bucket.fill_fraction(now=0.0) == pytest.approx(0.25)
+        assert bucket.try_consume(250, now=0.0)
+        assert not bucket.try_consume(1, now=0.0)
 
 
 class TestRedConfig:
@@ -41,6 +65,37 @@ class TestRedConfig:
         red = RedConfig(start_fraction=0.5, max_drop_probability=0.8)
         assert red.drop_probability(0.0) == pytest.approx(0.8)
         assert red.drop_probability(0.25) == pytest.approx(0.4)
+
+
+class TestRandomEarlyDropper:
+    def test_deterministic_from_streams(self):
+        """Two droppers built from equal-seed stream registries make
+        identical decisions; a different seed diverges."""
+        decisions = []
+        for seed in (7, 7, 8):
+            dropper = RandomEarlyDropper(streams=RandomStreams(seed=seed))
+            decisions.append(
+                [dropper.should_drop(0.1) for _ in range(200)])
+        assert decisions[0] == decisions[1]
+        assert decisions[0] != decisions[2]
+
+    def test_no_randomness_consumed_while_idle(self):
+        """Above the RED start fraction the ramp is zero and the stream
+        must not advance — an idle limiter costs no draws."""
+        streams = RandomStreams(seed=3)
+        dropper = RandomEarlyDropper(streams=streams)
+        for _ in range(50):
+            assert not dropper.should_drop(0.9)
+        untouched = RandomStreams(seed=3).stream("ltl.red")
+        assert dropper.rng.random() == untouched.random()
+        assert dropper.passes == 50 and dropper.drops == 0
+
+    def test_ramp_drops_when_depleted(self):
+        dropper = RandomEarlyDropper(
+            config=RedConfig(start_fraction=0.5, max_drop_probability=1.0),
+            rng=random.Random(1))
+        results = [dropper.should_drop(0.0) for _ in range(10)]
+        assert all(results)  # probability 1.0 at empty
 
 
 class TestBandwidthLimiter:

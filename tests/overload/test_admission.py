@@ -1,0 +1,111 @@
+"""Admission control: CoDel standing-queue detection + the ladder."""
+
+import pytest
+
+from repro.overload import (
+    AdmissionConfig,
+    AdmissionController,
+    CoDelController,
+    ServiceLevel,
+)
+
+
+def feed(controller, delay, start, count, spacing):
+    """Feed ``count`` equal delays spaced ``spacing`` apart."""
+    t = start
+    for _ in range(count):
+        controller.on_delay(delay, t) if isinstance(
+            controller, CoDelController) \
+            else controller.on_queue_delay(delay, t)
+        t += spacing
+    return t
+
+
+class TestCoDel:
+    def test_transient_burst_does_not_engage(self):
+        cfg = AdmissionConfig(target_delay=1e-3, interval=50e-3)
+        codel = CoDelController(cfg)
+        # Delays oscillate: every interval contains one below-target
+        # sample, so the *minimum* stays under target.
+        t = 0.0
+        for i in range(100):
+            delay = 5e-3 if i % 5 else 0.1e-3
+            codel.on_delay(delay, t)
+            t += 5e-3
+        assert not codel.engaged
+
+    def test_standing_queue_engages_after_full_interval(self):
+        cfg = AdmissionConfig(target_delay=1e-3, interval=50e-3)
+        codel = CoDelController(cfg)
+        t = feed(codel, delay=5e-3, start=0.0, count=10, spacing=10e-3)
+        assert not codel.engaged  # min above target for < full interval
+        feed(codel, delay=5e-3, start=t, count=10, spacing=10e-3)
+        assert codel.engaged
+
+    def test_disengages_when_queue_drains(self):
+        cfg = AdmissionConfig(target_delay=1e-3, interval=50e-3)
+        codel = CoDelController(cfg)
+        t = feed(codel, delay=5e-3, start=0.0, count=30, spacing=10e-3)
+        assert codel.engaged
+        feed(codel, delay=0.1e-3, start=t, count=10, spacing=10e-3)
+        assert not codel.engaged
+
+
+class TestAdmissionController:
+    def test_all_full_when_idle(self):
+        ctrl = AdmissionController(AdmissionConfig())
+        for i in range(50):
+            assert ctrl.admit(i * 1e-3) is ServiceLevel.FULL
+        assert ctrl.stats.shed == 0
+
+    def test_predicted_delay_sheds_at_the_door(self):
+        """The instantaneous prediction must shed without waiting for
+        the (lagging) CoDel signal."""
+        cfg = AdmissionConfig(target_delay=0.5e-3, shed_threshold=2.0)
+        ctrl = AdmissionController(cfg)
+        assert ctrl.admit(0.0, predicted_delay=5e-3) is ServiceLevel.SHED
+        assert ctrl.stats.shed == 1
+
+    def test_predicted_delay_degrades_below_shed_bound(self):
+        cfg = AdmissionConfig(target_delay=0.5e-3, shed_threshold=2.0)
+        ctrl = AdmissionController(cfg)
+        # Above target but below target*shed_threshold: degrade.
+        level = ctrl.admit(0.0, predicted_delay=0.75e-3)
+        assert level is ServiceLevel.DEGRADED
+
+    def test_unhealthy_fpga_degrades_immediately(self):
+        cfg = AdmissionConfig(control_period=1e-3)
+        ctrl = AdmissionController(cfg)
+        ctrl.fpga_healthy = False
+        # Let one control period elapse so the ladder re-evaluates.
+        ctrl.on_queue_delay(0.0, 2e-3)
+        assert ctrl.admit(3e-3) is ServiceLevel.DEGRADED
+
+    def test_shed_fraction_is_deterministic_debt(self):
+        ctrl = AdmissionController(AdmissionConfig())
+        ctrl.shed_fraction = 0.4
+        levels = [ctrl.admit(0.0) for _ in range(10)]
+        # Debt accumulator: exactly 4 of every 10, no randomness.
+        assert levels.count(ServiceLevel.SHED) == 4
+        ctrl2 = AdmissionController(AdmissionConfig())
+        ctrl2.shed_fraction = 0.4
+        assert [ctrl2.admit(0.0) for _ in range(10)] == levels
+
+    def test_shed_fraction_ramps_under_standing_overload(self):
+        cfg = AdmissionConfig(target_delay=0.5e-3, interval=20e-3,
+                              control_period=5e-3)
+        ctrl = AdmissionController(cfg)
+        feed(ctrl, delay=5e-3, start=0.0, count=100, spacing=5e-3)
+        assert ctrl.shed_fraction > 0.0
+        assert ctrl.level is ServiceLevel.DEGRADED
+        # And decays once the queue drains.
+        feed(ctrl, delay=0.05e-3, start=1.0, count=100, spacing=5e-3)
+        assert ctrl.shed_fraction == 0.0
+        assert ctrl.level is ServiceLevel.FULL
+
+    def test_shed_fraction_never_exceeds_cap(self):
+        cfg = AdmissionConfig(target_delay=0.5e-3, interval=20e-3,
+                              control_period=5e-3, max_shed_fraction=0.9)
+        ctrl = AdmissionController(cfg)
+        feed(ctrl, delay=50e-3, start=0.0, count=500, spacing=5e-3)
+        assert ctrl.shed_fraction <= 0.9 + 1e-12
