@@ -1,0 +1,168 @@
+"""Per-hop latency attribution benchmark + overlay ablation gates.
+
+Runs the :mod:`repro.trace` overlay suite — the production datapath plus
+four ablated variants (see :mod:`repro.trace.overlay`) — and enforces
+the honesty contract of the tracing subsystem:
+
+* the full path attributes >= 5 distinct hops,
+* the unattributed residual stays below 1% of end-to-end time (per
+  overlay, and structurally ``hop sum + residual == e2e``),
+* every stage an overlay bypasses carries ~zero cost in its report
+  (physically removed hardware cannot spend time),
+* each ablation's end-to-end latency is no higher than the full path's
+  (removing stages cannot slow the datapath down).
+
+Run standalone to print the Fig. 10-style per-hop tables and write the
+committed results file::
+
+    PYTHONPATH=src python benchmarks/bench_trace_breakdown.py           # full
+    PYTHONPATH=src python benchmarks/bench_trace_breakdown.py --quick   # CI
+
+``BENCH_trace.json`` records the per-overlay decomposition so the
+latency attribution trajectory stays in the repo, not in CI logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.trace.overlay import OVERLAYS, run_overlay  # noqa: E402
+from repro.trace.recorder import TraceReport  # noqa: E402
+
+#: Max share of end-to-end time a bypassed stage may still carry.
+BYPASSED_SHARE_LIMIT = 0.01
+
+#: Residual gate (unattributed share of end-to-end time).
+MAX_RESIDUAL = 0.01
+
+#: Distinct hops the full path must attribute.
+MIN_FULL_HOPS = 5
+
+
+def check_overlay(name: str, report: TraceReport,
+                  full_report: Optional[TraceReport]) -> List[str]:
+    """Return a list of gate failures (empty == overlay passed)."""
+    failures: List[str] = []
+    config = OVERLAYS[name]
+    try:
+        report.check(max_residual=MAX_RESIDUAL,
+                     min_hops=MIN_FULL_HOPS if name == "full" else 1)
+    except AssertionError as exc:
+        failures.append(f"{name}: {exc}")
+    for stage in config.bypassed:
+        hop = report.hops.get(stage)
+        if hop is not None and hop["share"] > BYPASSED_SHARE_LIMIT:
+            failures.append(
+                f"{name}: bypassed stage {stage} still carries "
+                f"{hop['share']:.1%} of end-to-end time")
+    if full_report is not None and name != "full":
+        full_mean = full_report.e2e.get("mean", 0.0)
+        mean = report.e2e.get("mean", 0.0)
+        # Float slack only: an ablation removes work, it never adds any.
+        if mean > full_mean * (1 + 1e-9):
+            failures.append(
+                f"{name}: mean e2e {mean * 1e6:.3f}us exceeds full path "
+                f"{full_mean * 1e6:.3f}us — ablation added latency?")
+    return failures
+
+
+def run_suite(quick: bool) -> Dict[str, object]:
+    messages = 200 if quick else 1_000
+    reports: Dict[str, TraceReport] = {}
+    walls: Dict[str, float] = {}
+    for name in OVERLAYS:
+        t0 = time.perf_counter()
+        reports[name] = run_overlay(name, messages=messages)
+        walls[name] = time.perf_counter() - t0
+
+    failures: List[str] = []
+    for name, report in reports.items():
+        failures.extend(check_overlay(name, report, reports["full"]))
+
+    overlays: Dict[str, object] = {}
+    for name, report in reports.items():
+        entry = report.to_dict()
+        entry["description"] = OVERLAYS[name].description
+        entry["bypassed"] = list(OVERLAYS[name].bypassed)
+        entry["wall_seconds"] = round(walls[name], 4)
+        overlays[name] = entry
+
+    return {
+        "schema": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "messages": messages,
+        "gates": {
+            "max_residual": MAX_RESIDUAL,
+            "min_full_hops": MIN_FULL_HOPS,
+            "bypassed_share_limit": BYPASSED_SHARE_LIMIT,
+        },
+        "overlays": overlays,
+        "_reports": reports,     # stripped before serialization
+        "_failures": failures,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer messages per overlay (CI smoke)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_trace.json",
+                        help="results file to write")
+    args = parser.parse_args(argv)
+
+    result = run_suite(quick=args.quick)
+    reports: Dict[str, TraceReport] = result.pop("_reports")
+    failures: List[str] = result.pop("_failures")
+
+    full_mean = reports["full"].e2e.get("mean", 0.0)
+    for name, report in reports.items():
+        mean = report.e2e.get("mean", 0.0)
+        delta = full_mean - mean
+        print(f"\n=== overlay: {name} — {OVERLAYS[name].description} ===")
+        if name != "full" and full_mean > 0:
+            print(f"(vs full path: -{delta * 1e6:.2f} us, "
+                  f"{delta / full_mean:.1%} of full e2e)")
+        print(report.format_table())
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+
+    args.output.write_text(json.dumps(result, indent=1) + "\n")
+    print(f"\nall overlay gates passed; wrote {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest smoke (kept tiny; full runs happen via __main__)
+# ----------------------------------------------------------------------
+def test_trace_breakdown_smoke():
+    result = run_suite(quick=True)
+    assert result.pop("_failures") == []
+    reports = result.pop("_reports")
+    assert len(reports["full"].hops) >= MIN_FULL_HOPS
+    # The ablation ladder is strictly ordered: each overlay removes real
+    # work, so mean e2e decreases monotonically down to the kernel floor.
+    means = [reports[n].e2e["mean"] for n in
+             ("full", "bypass_er", "bypass_tor", "loopback_shell",
+              "sim_kernel_only")]
+    assert all(a > b for a, b in zip(means, means[1:]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

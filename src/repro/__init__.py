@@ -15,6 +15,7 @@ The package is organized bottom-up:
 * :mod:`repro.dnn` — pooled DNN accelerators (Fig. 12),
 * :mod:`repro.haas` — Hardware-as-a-Service control plane,
 * :mod:`repro.faults` — deterministic fault-injection campaigns,
+* :mod:`repro.trace` — per-hop latency attribution + overlay ablations,
 * :mod:`repro.deployment` — the 5,760-server reliability study,
 * :mod:`repro.core` — the :class:`~repro.core.cloud.ConfigurableCloud`
   facade tying everything together.
@@ -34,6 +35,7 @@ from .net.fabric import DatacenterFabric
 from .net.topology import TopologyConfig
 from .router.elastic_router import ElasticRouter
 from .sim.kernel import Environment
+from .trace import Stage, TraceContext, TraceRecorder, TraceReport
 
 __version__ = "1.0.0"
 
@@ -52,7 +54,11 @@ __all__ = [
     "Server",
     "Shell",
     "ShellConfig",
+    "Stage",
     "TopologyConfig",
+    "TraceContext",
+    "TraceRecorder",
+    "TraceReport",
     "connect_pair",
     "generate_campaign",
     "__version__",

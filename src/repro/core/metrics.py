@@ -105,6 +105,71 @@ class StreamingQuantile:
             return percentile(sorted(self._heights), self.q)
         return self._heights[2]
 
+    def merge(self, other: "StreamingQuantile") -> "StreamingQuantile":
+        """Fold ``other``'s digest into this one (same ``q`` required).
+
+        Needed wherever independently collected digests must combine:
+        per-hop trace digests from overlay shards, or per-process metric
+        merging (ROADMAP item 1).  P² has no exact merge — the marker
+        heights are an estimate, not a sketch with a closure property —
+        so this uses the standard approximation: extremes combine by
+        min/max, interior marker heights by count-weighted average, and
+        marker positions/desired positions are re-derived from the
+        canonical P² formulas for the combined count.  A digest still in
+        its initialization phase (< 5 samples) holds raw samples, which
+        are simply replayed.  Accuracy is validated against exact
+        percentiles in ``tests/core/test_streaming_merge.py``.
+        """
+        if other.q != self.q:
+            raise ValueError(
+                f"cannot merge digests for different quantiles "
+                f"({self.q} vs {other.q})")
+        if other._n == 0:
+            return self
+        if len(other._heights) < 5:
+            # other is still initializing: its heights ARE its samples.
+            for x in other._heights:
+                self.record(x)
+            return self
+        if len(self._heights) < 5:
+            # self is still initializing: adopt other's digest wholesale,
+            # then replay our raw samples into it.
+            mine = list(self._heights)
+            self._n = other._n
+            self._heights = list(other._heights)
+            self._positions = list(other._positions)
+            self._desired = list(other._desired)
+            for x in mine:
+                self.record(x)
+            return self
+        na, nb = self._n, other._n
+        n = na + nb
+        h, ho = self._heights, other._heights
+        merged = [
+            min(h[0], ho[0]),
+            (h[1] * na + ho[1] * nb) / n,
+            (h[2] * na + ho[2] * nb) / n,
+            (h[3] * na + ho[3] * nb) / n,
+            max(h[4], ho[4]),
+        ]
+        for i in range(1, 5):  # weighted averages can cross; restore order
+            if merged[i] < merged[i - 1]:
+                merged[i] = merged[i - 1]
+        p = self.q / 100.0
+        init = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        rate = self._rate
+        desired = [init[i] + rate[i] * (n - 5) for i in range(5)]
+        positions = [min(float(n), max(1.0, round(d))) for d in desired]
+        positions[0], positions[4] = 1.0, float(n)
+        for i in range(1, 5):  # P² requires strictly increasing positions
+            if positions[i] <= positions[i - 1]:
+                positions[i] = positions[i - 1] + 1.0
+        self._n = n
+        self._heights = merged
+        self._positions = positions
+        self._desired = desired
+        return self
+
 
 #: Quantiles a streaming recorder tracks (matching ``summary()``'s keys).
 STREAMING_QUANTILES: Tuple[float, ...] = (50.0, 95.0, 99.0, 99.9)
@@ -154,6 +219,31 @@ class LatencyRecorder:
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
             self.record(value)
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold another recorder's samples/digests into this one.
+
+        Exact recorders concatenate samples (still exact).  Streaming
+        recorders merge their P² digests via
+        :meth:`StreamingQuantile.merge` (approximate).  Modes must
+        match — merging an exact recorder into a streaming one would
+        silently change the accuracy contract mid-object.
+        """
+        if self.streaming != other.streaming:
+            raise ValueError("cannot merge exact and streaming recorders")
+        if other._count == 0:
+            return self
+        self._count += other._count
+        self._sum += other._sum
+        if other._max > self._max:
+            self._max = other._max
+        if self.streaming:
+            for q, estimator in self._estimators.items():
+                estimator.merge(other._estimators[q])
+        else:
+            self.samples.extend(other.samples)
+            self._sorted = None
+        return self
 
     # ------------------------------------------------------------------
     # Queries

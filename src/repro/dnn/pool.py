@@ -23,6 +23,7 @@ from ..core.metrics import LatencyRecorder
 from ..overload.deadline import expires_at_of
 from ..overload.hedging import HedgeController
 from ..sim import Environment, Resource
+from ..trace.stages import Stage
 from .accelerator import DnnAccelerator, DnnAcceleratorConfig
 
 #: The paper's measured sustainable clients per FPGA at stress rates.
@@ -136,13 +137,16 @@ class DnnPool:
         return self.accelerators[index].sample_service_time(self.rng) \
             * self.slow_factor[index]
 
-    def request(self, deadline=None):
+    def request(self, deadline=None, trace=None):
         """Process: one client request through the pool.
 
         ``deadline`` (a Deadline or absolute expiry in seconds) makes
         the pool drop-and-account the request instead of serving it once
         expired — checked at entry and again when the accelerator slot
-        is granted (the wait is where overload shows up).
+        is granted (the wait is where overload shows up).  ``trace`` (a
+        :class:`~repro.trace.TraceContext`) attributes the LTL network
+        halves to ``pool.net``, the slot wait to ``pool.queue`` and the
+        accelerator service to ``role.service``.
         """
         enqueued_at = self.env.now
         expires_at = expires_at_of(deadline)
@@ -157,17 +161,25 @@ class DnnPool:
         # Outbound network half before the accelerator sees the request.
         if network > 0:
             yield self.env.timeout(network / 2)
+            if trace is not None:
+                trace.tap(Stage.POOL_NET, self.env.now)
         with self._slots[index].request() as slot:
             yield slot
+            if trace is not None:
+                trace.tap(Stage.POOL_QUEUE, self.env.now)
             if expires_at is not None and self.env.now > expires_at:
                 self._queue_depth[index] -= 1
                 self.deadline_drops += 1
                 return None
             self.backend_served += 1
             yield self.env.timeout(self._service_time(index))
+            if trace is not None:
+                trace.tap(Stage.ROLE_SERVICE, self.env.now)
         self._queue_depth[index] -= 1
         if network > 0:
             yield self.env.timeout(network / 2)
+            if trace is not None:
+                trace.tap(Stage.POOL_NET, self.env.now)
         latency = self.env.now - enqueued_at
         self.latency.record(latency)
         self.completed += 1

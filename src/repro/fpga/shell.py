@@ -25,6 +25,7 @@ from ..net.fabric import Attachment, DatacenterFabric
 from ..net.packet import Packet, TrafficClass
 from ..router.elastic_router import ElasticRouter
 from ..sim import Environment, RandomStreams
+from ..trace.stages import Stage
 from .board import Board
 from .bridge import Bridge
 from .ddr import DdrController
@@ -77,6 +78,8 @@ class RemoteEnvelope:
     dst_role: int = 0
     #: Absolute deadline of the carried request (seconds), or ``None``.
     deadline: Optional[float] = None
+    #: Optional :class:`repro.trace.TraceContext` riding the request.
+    trace: Any = None
 
 
 @dataclass
@@ -87,6 +90,9 @@ class RemoteMessage:
     payload: Any
     #: Absolute deadline, mirrored into the LTL frame headers.
     deadline: Optional[float] = None
+    #: Trace context carried across so the receiving shell's ER and role
+    #: taps continue the same span.
+    trace: Any = None
 
 
 class FabricLtlTransport:
@@ -107,6 +113,9 @@ class FabricLtlTransport:
             payload_bytes=frame.wire_bytes,
             src_port=LTL_UDP_PORT, dst_port=LTL_UDP_PORT,
             traffic_class=shell.config.ltl_traffic_class)
+        # The frame's trace context rides the packet so switch/link tap
+        # points along the fabric see it (ACKs/NACKs carry none).
+        packet.trace = frame.trace
         shell.bridge.inject_to_tor(packet)
 
 
@@ -205,11 +214,16 @@ class Shell:
     # ------------------------------------------------------------------
     def _receive_from_tor(self, packet: Packet) -> None:
         """All traffic from the TOR lands here (it is a bump in the wire)."""
+        if packet.trace is not None:
+            # Close the last wire hop (TOR -> this host's QSFP).
+            packet.trace.tap(Stage.LINK_WIRE, self.env.now)
         self.env.process(self._rx_pipeline(packet),
                          name=f"shell-rx-{self.host_index}")
 
     def _rx_pipeline(self, packet: Packet):
         yield self.env.timeout(self.config.mac_rx_latency)
+        if packet.trace is not None:
+            packet.trace.tap(Stage.SHELL_MAC_RX, self.env.now)
         if self._is_local_ltl(packet):
             if self.ltl is not None:
                 self.ltl.receive_frame(packet.payload,
@@ -228,6 +242,11 @@ class Shell:
 
         def _tx():
             yield self.env.timeout(self.config.mac_tx_latency)
+            if packet.trace is not None:
+                # Everything since the LTL tx mark — transport + MAC/PHY
+                # pipeline — is shell transmit time; the wire hop starts
+                # here at the QSFP.
+                packet.trace.tap(Stage.SHELL_MAC_TX, self.env.now)
             self.attachment.send(packet)
 
         self.env.process(_tx(), name=f"shell-tx-{self.host_index}")
@@ -273,20 +292,23 @@ class Shell:
     def remote_send(self, dst_host: int, payload: Any,
                     length_bytes: int, dst_role: int = 0,
                     src_role: int = 0,
-                    deadline: Optional[float] = None) -> None:
+                    deadline: Optional[float] = None,
+                    trace: Any = None) -> None:
         """Role-level API: send a message to a role on another FPGA.
 
         (Short-hand for pushing a :class:`RemoteEnvelope` through the ER's
         Remote port.)  ``deadline`` (absolute seconds) travels the whole
         hop: ER virtual channel here, LTL frame headers on the wire, and
         the ER on the receiving shell — each stage drops the message
-        instead of forwarding once it expires.
+        instead of forwarding once it expires.  ``trace`` (a
+        :class:`~repro.trace.TraceContext`) rides the same route and is
+        tapped at every datapath stage along the way.
         """
         event = self.er.send(
             self.role_port(src_role), ER_PORT_REMOTE,
             RemoteEnvelope(dst_host, payload, dst_role=dst_role,
-                           deadline=deadline),
-            length_bytes, deadline=deadline)
+                           deadline=deadline, trace=trace),
+            length_bytes, deadline=deadline, trace=trace)
         event._defused = True
 
     def _er_remote_out(self, message) -> None:
@@ -301,20 +323,25 @@ class Shell:
                 f"{envelope.dst_host}; call connect_to() first")
         self.ltl.send_message(
             conn, RemoteMessage(envelope.dst_role, envelope.payload,
-                                deadline=envelope.deadline),
-            message.length_bytes, deadline=envelope.deadline)
+                                deadline=envelope.deadline,
+                                trace=envelope.trace),
+            message.length_bytes, deadline=envelope.deadline,
+            trace=envelope.trace)
 
     def _ltl_message_in(self, _conn_id: int, payload: Any,
                         length_bytes: int) -> None:
         """LTL delivered a message: route it to its role through the ER."""
         deadline: Optional[float] = None
+        trace: Any = None
         if isinstance(payload, RemoteMessage):
             dst_role, inner = payload.dst_role, payload.payload
             deadline = payload.deadline
+            trace = payload.trace
         else:
             dst_role, inner = 0, payload
         event = self.er.send(ER_PORT_REMOTE, self.role_port(dst_role),
-                             inner, length_bytes, deadline=deadline)
+                             inner, length_bytes, deadline=deadline,
+                             trace=trace)
         event._defused = True
 
     def _role_in(self, role: int, payload: Any,

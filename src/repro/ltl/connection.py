@@ -31,6 +31,11 @@ class UnackedFrame:
     first_sent_at: float
     last_sent_at: float
     transmissions: int = 1
+    #: Trace-trail length right after the first transmit's tap.  On a
+    #: retransmission the engine rewinds the frame's TraceContext here so
+    #: the doomed traversal's wire/switch marks are not double-counted
+    #: (the wait lands in ``ltl.retx`` instead).
+    trace_checkpoint: int = 0
 
 
 @dataclass

@@ -55,6 +55,7 @@ from .frames import (
     nack_range,
 )
 from .ratelimit import BandwidthLimiter, RandomEarlyDropper
+from ..trace.stages import Stage
 
 
 @dataclass
@@ -225,7 +226,8 @@ class LtlEngine:
     # Send path
     # ------------------------------------------------------------------
     def send_message(self, connection_id: int, payload: Any,
-                     length_bytes: int, deadline: Any = None) -> int:
+                     length_bytes: int, deadline: Any = None,
+                     trace: Any = None) -> int:
         """Fragment and queue a message; returns its message id.
 
         ``deadline`` (a :class:`~repro.overload.deadline.Deadline` or an
@@ -234,6 +236,11 @@ class LtlEngine:
         before sequence numbers are assigned, so the go-back-N stream
         stays gapless — accounted in ``stats.deadline_expired_tx``, and
         ``-1`` is returned instead of a message id.
+
+        ``trace`` (a :class:`~repro.trace.TraceContext`) rides every DATA
+        frame as simulation metadata: ``ltl.tx`` is tapped at first
+        transmit, ``ltl.rx`` at reassembled delivery, and retransmission
+        wait is isolated into ``ltl.retx`` (see :meth:`_transmit`).
         """
         state: SendConnectionState = self.send_table.lookup(connection_id)
         if state.failed:
@@ -263,6 +270,7 @@ class LtlEngine:
                 fragment=fragment, total_fragments=total_fragments,
                 payload=frag_payload, payload_bytes=frag_bytes,
                 deadline_us=deadline_us)
+            frame.trace = trace
             state.next_seq += 1
             state.send_queue.append(frame)
         self.stats.messages_sent += 1
@@ -319,12 +327,28 @@ class LtlEngine:
         if wake is not None and not wake.triggered:
             wake.succeed()
         entry = state.unacked.get(frame.seq)
+        trace = frame.trace
         if entry is None:
-            state.unacked[frame.seq] = UnackedFrame(
+            entry = UnackedFrame(
                 frame=frame, first_sent_at=now, last_sent_at=now)
+            state.unacked[frame.seq] = entry
+            if trace is not None:
+                # First transmit: everything since the previous mark
+                # (send-queue wait, tx pipeline, pacing) is LTL tx time.
+                # Checkpoint the trail so a later retransmission can
+                # erase the doomed traversal's downstream marks.
+                trace.tap(Stage.LTL_TX, now)
+                entry.trace_checkpoint = trace.checkpoint()
         else:
             entry.last_sent_at = now
             entry.transmissions += 1
+            if trace is not None:
+                # Retransmission: discard the lost traversal's marks so
+                # wire/switch hops are not double-counted, and attribute
+                # the whole wait since the original transmit to the
+                # retransmit bucket.
+                trace.rewind(entry.trace_checkpoint)
+                trace.tap(Stage.LTL_RETX, now)
         state.frames_sent += 1
         self.stats.frames_sent += 1
         if retransmission:
@@ -538,6 +562,9 @@ class LtlEngine:
         if pending.complete:
             del state.reassembly[frame.message_id]
             payload, total_bytes = pending.assemble()
+            if frame.trace is not None:
+                # Reassembled delivery: rx pipeline + reassembly wait.
+                frame.trace.tap(Stage.LTL_RX, self.env.now)
             # Drop-and-account at the delivery point: the protocol still
             # ACKs the frames (the go-back-N stream must stay gapless),
             # but an expired message is not handed to the role — the

@@ -62,6 +62,10 @@ class LtlFrame:
     payload_bytes: int = 0
     #: CRC-32 sealing header + payload; auto-computed when left ``None``.
     checksum: Optional[int] = None
+    #: Optional :class:`repro.trace.TraceContext` riding the frame.
+    #: Simulation-side metadata only: not serialized, not covered by the
+    #: checksum, dropped by ``header_from_bytes`` round-trips.
+    trace: Any = None
 
     def __post_init__(self) -> None:
         if self.payload_bytes == 0 and isinstance(

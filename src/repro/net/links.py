@@ -5,6 +5,11 @@ class, are serialized at the link rate, and arrive at the peer after the
 link's propagation delay.  Priority-based flow control (PFC) pauses
 individual traffic classes on the transmit side; the receiving switch
 asserts/deasserts pause on its upstream ports.
+
+Latency attribution: links carry no trace tap of their own — the
+*receiving* end (switch ingress or shell) taps
+:attr:`repro.trace.Stage.LINK_WIRE`, so serialization + propagation is
+attributed per physical hop at the point of arrival.
 """
 
 from __future__ import annotations

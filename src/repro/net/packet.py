@@ -185,6 +185,10 @@ class Packet:
     created_at: float = 0.0
     ecn_marked: bool = False
     hops: int = 0
+    #: Optional :class:`repro.trace.TraceContext` riding the packet.
+    #: ``None`` (the default) keeps tracing free: tap sites only check
+    #: ``packet.trace is not None``.  Not part of the wire format.
+    trace: Any = None
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..sim import Environment
+from ..trace.stages import SWITCH_STAGE_BY_TIER, Stage
 from .latency import BackgroundTrafficModel, JitterStream
 from .links import Port
 from .packet import Packet, TrafficClass
@@ -93,6 +94,9 @@ class Switch:
         self.ecn = ecn or EcnConfig()
         self.pfc = pfc or PfcConfig()
         self.stats = SwitchStats()
+        #: Trace stage this tier's traversal is attributed to (resolved
+        #: once here, not per packet); ``None`` for unknown tiers.
+        self._trace_stage = SWITCH_STAGE_BY_TIER.get(str(tier).lower())
         #: Buffered jitter sampler (created on first packet so that
         #: unknown tiers still fail at forward time, as before).
         self._jitter: Optional[JitterStream] = None
@@ -126,6 +130,12 @@ class Switch:
         """Accept a packet from a link; forwarding happens asynchronously."""
         self.stats.received += 1
         packet.hops += 1
+        if packet.trace is not None:
+            # The interval since the previous mark is the upstream link:
+            # serialization + propagation + port queueing.  Wire time is
+            # attributed at the receiver because the sender's port drains
+            # asynchronously (see repro.net.links).
+            packet.trace.tap(Stage.LINK_WIRE, self.env.now)
         delay = self.forwarding_latency
         if self.background is not None:
             jitter = self._jitter
@@ -136,6 +146,9 @@ class Switch:
         self.env.call_later(delay, self._forward, packet)
 
     def _forward(self, packet: Packet) -> None:
+        if packet.trace is not None and self._trace_stage is not None:
+            # Forwarding latency + background-traffic jitter for this tier.
+            packet.trace.tap(self._trace_stage, self.env.now)
         if self._router is None:
             self.stats.routing_failures += 1
             return

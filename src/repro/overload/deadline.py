@@ -87,13 +87,22 @@ def expires_at_of(deadline: "Optional[Deadline | float]") -> Optional[float]:
 
 @dataclass
 class DeadlineStats:
-    """Per-stage drop accounting (every drop must be attributable)."""
+    """Per-stage drop accounting (every drop must be attributable).
 
-    #: stage name -> expired work units dropped there.
+    Stages are the canonical :class:`repro.trace.Stage` vocabulary — the
+    same names the tracing subsystem attributes latency to, so "where do
+    requests die" and "where does time go" line up key-for-key.  Members
+    or their dotted string values are both accepted; keys are stored as
+    the dotted strings.
+    """
+
+    #: canonical stage name (``Stage`` value) -> expired work units
+    #: dropped there.
     dropped: Dict[str, int] = field(default_factory=dict)
 
-    def drop(self, stage: str, count: int = 1) -> None:
-        self.dropped[stage] = self.dropped.get(stage, 0) + count
+    def drop(self, stage, count: int = 1) -> None:
+        name = str(getattr(stage, "value", stage))
+        self.dropped[name] = self.dropped.get(name, 0) + count
 
     @property
     def total(self) -> int:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from ..overload.deadline import Deadline
 from .corpus import Document, Query
@@ -35,6 +35,9 @@ class QueryWork:
     #: Latency budget riding with the query (see :mod:`repro.overload`);
     #: ``None`` means the query is not under deadline control.
     deadline: Optional[Deadline] = None
+    #: Optional :class:`repro.trace.TraceContext` riding the query
+    #: through the ranking pipeline's stage taps.
+    trace: Any = None
 
     @property
     def dp_cells(self) -> int:
@@ -58,7 +61,8 @@ class QueryWork:
             num_docs=max(1, int(self.num_docs * fraction)),
             total_terms=max(1, int(self.total_terms * fraction)),
             query_terms=self.query_terms,
-            deadline=self.deadline)
+            deadline=self.deadline,
+            trace=self.trace)
 
 
 @dataclass

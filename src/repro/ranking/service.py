@@ -35,6 +35,7 @@ from ..overload import (
     ServiceLevel,
 )
 from ..sim import Environment, Resource
+from ..trace.stages import Stage
 from .ffu import FfuConfig, FfuDpfRole, QueryWork, SoftwareTimingModel, \
     WorkloadModel
 
@@ -235,7 +236,7 @@ class RankingServer:
         hc.observe(effective)
         return effective
 
-    def _expire(self, stage: str) -> None:
+    def _expire(self, stage: Stage) -> None:
         self.deadline_stats.drop(stage)
         if self.slo is not None:
             self.slo.expire()
@@ -287,55 +288,72 @@ class RankingServer:
         if self.config.mode is not AccelerationMode.SOFTWARE \
                 and not self.fpga_available:
             self.software_fallbacks += 1
+        trace = work.trace
         if not accelerated:
             # The owning thread runs all stages back to back.
             with self.cores.request() as core:
                 yield core
                 queue_delay = self.env.now - arrival
+                if trace is not None:
+                    trace.tap(Stage.CORE_QUEUE, self.env.now)
                 if self.admission is not None:
                     self.admission.on_queue_delay(queue_delay, self.env.now)
                 if enforce and deadline is not None \
                         and deadline.expired(self.env.now):
-                    self._expire("core-queue")
+                    self._expire(Stage.CORE_QUEUE)
                     return None
                 hold = (software.pre_time(work)
                         + software.feature_time(work)
                         + software.post_time(work))
                 self._note_core_hold(hold)
                 yield self.env.timeout(hold)
+                if trace is not None:
+                    trace.tap(Stage.CORE_SOFTWARE, self.env.now)
         else:
             with self.cores.request() as core:
                 yield core
                 queue_delay = self.env.now - arrival
+                if trace is not None:
+                    trace.tap(Stage.CORE_QUEUE, self.env.now)
                 if self.admission is not None:
                     self.admission.on_queue_delay(queue_delay, self.env.now)
                 if enforce and deadline is not None \
                         and deadline.expired(self.env.now):
-                    self._expire("core-queue")
+                    self._expire(Stage.CORE_QUEUE)
                     return None
                 hold = software.pre_time(work)
                 self._note_core_hold(hold)
                 yield self.env.timeout(hold)
+                if trace is not None:
+                    trace.tap(Stage.SW_PRE, self.env.now)
             # Core released while the FPGA does the heavy lifting.
             with self.fpga_slots.request() as slot:
                 yield slot
+                if trace is not None:
+                    trace.tap(Stage.FPGA_QUEUE, self.env.now)
                 if enforce and deadline is not None \
                         and deadline.expired(self.env.now):
-                    self._expire("fpga-queue")
+                    self._expire(Stage.FPGA_QUEUE)
                     return None
                 yield self.env.timeout(self._remote_feature_time(work)
                                        if self.config.mode
                                        is AccelerationMode.REMOTE_FPGA
                                        else self.feature_stage_time(work))
+                if trace is not None:
+                    trace.tap(Stage.ROLE_SERVICE, self.env.now)
             with self.cores.request() as core:
                 yield core
+                if trace is not None:
+                    trace.tap(Stage.POST_QUEUE, self.env.now)
                 if enforce and deadline is not None \
                         and deadline.expired(self.env.now):
-                    self._expire("post-queue")
+                    self._expire(Stage.POST_QUEUE)
                     return None
                 hold = software.post_time(work)
                 self._note_core_hold(hold)
                 yield self.env.timeout(hold)
+                if trace is not None:
+                    trace.tap(Stage.SW_POST, self.env.now)
 
         self.completed += 1
         latency = self.env.now - arrival

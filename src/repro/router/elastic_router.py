@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..sim import Environment, Event, Store
+from ..trace.stages import Stage
 from .credits import CreditPool, make_credit_pool
 from .flit import Flit, Message, packetize
 
@@ -108,19 +109,24 @@ class ElasticRouter:
 
     def send(self, src_port: int, dst_port: int, payload: Any,
              length_bytes: int, vc: int = 0,
-             deadline: Optional[float] = None) -> Event:
+             deadline: Optional[float] = None,
+             trace: Any = None) -> Event:
         """Inject a message; returns an event that succeeds once the last
         flit has entered the input buffer (i.e. the sender may reuse its
         staging space).  ``deadline`` is an absolute expiry instant; a
         message still in flight past it is dropped at delivery and
-        counted in ``stats.deadline_drops``."""
+        counted in ``stats.deadline_drops``.  ``trace`` is an optional
+        :class:`~repro.trace.TraceContext`: ``er.ingress`` is tapped when
+        the head flit wins a buffer credit, ``er.switch`` when the tail
+        flit exits the crossbar."""
         self._check_port(src_port)
         self._check_port(dst_port)
         if not 0 <= vc < self.num_vcs:
             raise ValueError(f"vc {vc} out of range")
         message = Message(src_port=src_port, dst_port=dst_port, vc=vc,
                           payload=payload, length_bytes=length_bytes,
-                          injected_at=self.env.now, deadline=deadline)
+                          injected_at=self.env.now, deadline=deadline,
+                          trace=trace)
         flits = packetize(message, self.flit_bytes)
         done = self.env.event()
         for flit in flits:
@@ -131,10 +137,11 @@ class ElasticRouter:
 
     def inject(self, src_port: int, dst_port: int, payload: Any,
                length_bytes: int, vc: int = 0,
-               deadline: Optional[float] = None) -> Message:
+               deadline: Optional[float] = None,
+               trace: Any = None) -> Message:
         """Fire-and-forget variant of :meth:`send`."""
         event = self.send(src_port, dst_port, payload, length_bytes, vc,
-                          deadline=deadline)
+                          deadline=deadline, trace=trace)
         event._defused = True
         # The message object is reachable through the queued flits.
         return self._pending[src_port][-1][0].message
@@ -185,6 +192,9 @@ class ElasticRouter:
             if self._credits[port].try_acquire(flit.vc):
                 pending.popleft()
                 self._buffers[port][flit.vc].append(flit)
+                if flit.is_head and flit.message.trace is not None:
+                    # Pending wait + credit stalls up to buffer entry.
+                    flit.message.trace.tap(Stage.ER_INGRESS, self.env.now)
                 if flit.is_tail and not done.triggered:
                     done.succeed()
             else:
@@ -244,6 +254,9 @@ class ElasticRouter:
                 f"{self.name}: interleaved messages on output "
                 f"({out_port}, vc {vc})")
         message.delivered_at = self.env.now
+        if message.trace is not None:
+            # Crossbar residency: buffer entry through tail-flit exit.
+            message.trace.tap(Stage.ER_SWITCH, self.env.now)
         # Deadline check at the output port: an expired message has
         # already consumed its crossbar bandwidth, but the endpoint's
         # time is still worth saving (drop-and-account).

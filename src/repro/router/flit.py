@@ -32,6 +32,9 @@ class Message:
     #: ``None`` for no deadline.  The head flit carries it like routing
     #: state; the ER drops expired messages at delivery.
     deadline: Optional[float] = None
+    #: Optional :class:`repro.trace.TraceContext`; rides the head flit's
+    #: message like ``deadline`` does.  Not part of the flit format.
+    trace: Any = None
 
     def __post_init__(self) -> None:
         if self.length_bytes <= 0:

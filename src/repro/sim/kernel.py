@@ -17,6 +17,10 @@ back to the semantically identical ``step()``-per-event loop.
 One-shot latency callbacks (apply delay *d*, then call ``fn``) should use
 :meth:`Environment.call_later` rather than spawning a process: a
 :class:`~repro.sim.events.Deferred` costs one heap entry and no generator.
+
+Instrumentation reading ``env.now`` must never write back: trace taps
+(:mod:`repro.trace`) only record timestamps — they schedule no events
+and draw no randomness, so enabling them cannot perturb seeded runs.
 """
 
 from __future__ import annotations

@@ -6,6 +6,10 @@ miserable without visibility.  :class:`Tracer` hooks an Environment's
 event type, and (for process resumptions) the process name — without
 touching simulation semantics.
 
+This is a *kernel* instrument (which events ran).  For *datapath*
+attribution — where one request's microseconds went, hop by hop — use
+:mod:`repro.trace` instead.
+
 Usage::
 
     env = Environment()

@@ -1,0 +1,41 @@
+"""repro.trace — per-hop latency attribution with honest accounting.
+
+Fig. 10 reports *end-to-end* LTL latency; production debugging needs to
+know *where* the microseconds go (role -> Elastic Router -> shell MAC ->
+TOR -> L1 -> remote role).  This subsystem provides:
+
+* :class:`~repro.trace.stages.Stage` — the canonical stage vocabulary,
+  shared with :mod:`repro.overload`'s drop attribution so trace hops and
+  deadline drops name the same places,
+* :class:`~repro.trace.context.TraceContext` — a context that rides
+  packets and LTL frames end to end, collecting timestamp taps at every
+  datapath stage,
+* :class:`~repro.trace.recorder.TraceRecorder` /
+  :class:`~repro.trace.recorder.TraceReport` — per-hop P50/P99/P99.9
+  digests (P² streaming quantiles) and a decomposition whose hops are
+  *guaranteed* to sum to the measured end-to-end latency (any
+  uninstrumented interval is reported as an explicit residual, gated at
+  < 1%),
+* :mod:`repro.trace.overlay` — ablation configurations (full path,
+  bypass-ER, bypass-TOR, loopback-shell, sim-kernel-only) that disable
+  stages to isolate their cost, after hft-latency-lab's four-overlay
+  methodology.
+
+Tracing is strictly opt-in per request: a request without a context
+costs the datapath one ``is not None`` check per tap point and allocates
+nothing — see ``benchmarks/bench_trace_breakdown.py`` for the enforced
+disabled-tracing overhead budget.
+"""
+
+from .stages import SWITCH_STAGE_BY_TIER, Stage
+from .context import TraceContext
+from .recorder import SpanRecord, TraceRecorder, TraceReport
+
+__all__ = [
+    "SWITCH_STAGE_BY_TIER",
+    "SpanRecord",
+    "Stage",
+    "TraceContext",
+    "TraceRecorder",
+    "TraceReport",
+]

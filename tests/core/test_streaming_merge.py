@@ -1,0 +1,160 @@
+"""StreamingQuantile.merge / LatencyRecorder.merge accuracy and contracts."""
+
+import random
+
+import pytest
+
+from repro.core.metrics import (STREAMING_QUANTILES, LatencyRecorder,
+                                StreamingQuantile)
+from repro.sim.randomness import percentile
+
+
+def _samples(seed, n, dist="expo"):
+    rng = random.Random(seed)
+    if dist == "expo":
+        return [rng.expovariate(1.0) for _ in range(n)]
+    if dist == "uniform":
+        return [rng.uniform(0.0, 10.0) for _ in range(n)]
+    raise AssertionError(dist)
+
+
+@pytest.mark.parametrize("q,rtol", [(50.0, 0.05), (95.0, 0.05), (99.0, 0.10)])
+@pytest.mark.parametrize("dist", ["expo", "uniform"])
+def test_merge_tracks_exact_percentile(q, rtol, dist):
+    a_samples = _samples(1, 2000, dist)
+    b_samples = _samples(2, 2000, dist)
+    a, b = StreamingQuantile(q), StreamingQuantile(q)
+    for x in a_samples:
+        a.record(x)
+    for x in b_samples:
+        b.record(x)
+    a.merge(b)
+    exact = percentile(sorted(a_samples + b_samples), q)
+    assert a.count == 4000
+    assert a.value == pytest.approx(exact, rel=rtol)
+
+
+def test_merge_preserves_extremes():
+    a, b = StreamingQuantile(99.0), StreamingQuantile(99.0)
+    for x in _samples(3, 500):
+        a.record(x)
+    for x in _samples(4, 500):
+        b.record(x)
+    lo = min(a._heights[0], b._heights[0])
+    hi = max(a._heights[4], b._heights[4])
+    a.merge(b)
+    assert a._heights[0] == lo
+    assert a._heights[4] == hi
+    # Heights stay a nondecreasing ladder (P² structural invariant).
+    assert all(x <= y for x, y in zip(a._heights, a._heights[1:]))
+
+
+def test_merge_small_other_replays_raw_samples():
+    a = StreamingQuantile(50.0)
+    for x in _samples(5, 1000):
+        a.record(x)
+    b = StreamingQuantile(50.0)
+    for x in (0.1, 0.2, 0.3):   # < 5 samples: still initializing
+        b.record(x)
+    n_before = a.count
+    a.merge(b)
+    assert a.count == n_before + 3
+
+
+def test_merge_small_self_adopts_other_digest():
+    a = StreamingQuantile(50.0)
+    for x in (5.0, 6.0):
+        a.record(x)
+    b = StreamingQuantile(50.0)
+    b_samples = _samples(6, 1000)
+    for x in b_samples:
+        b.record(x)
+    a.merge(b)
+    assert a.count == 1002
+    exact = percentile(sorted(b_samples + [5.0, 6.0]), 50.0)
+    assert a.value == pytest.approx(exact, rel=0.1)
+
+
+def test_merge_both_small_stays_exact():
+    a, b = StreamingQuantile(50.0), StreamingQuantile(50.0)
+    a.record(1.0)
+    a.record(2.0)
+    b.record(3.0)
+    a.merge(b)
+    assert a.count == 3
+    assert a.value == pytest.approx(2.0)
+
+
+def test_merge_empty_other_is_noop():
+    a = StreamingQuantile(50.0)
+    for x in (1.0, 2.0, 3.0):
+        a.record(x)
+    a.merge(StreamingQuantile(50.0))
+    assert a.count == 3
+
+
+def test_merge_rejects_quantile_mismatch():
+    with pytest.raises(ValueError, match="different quantiles"):
+        StreamingQuantile(50.0).merge(StreamingQuantile(99.0))
+
+
+def test_merged_digest_keeps_recording():
+    a, b = StreamingQuantile(95.0), StreamingQuantile(95.0)
+    first = _samples(7, 1000)
+    second = _samples(8, 1000)
+    tail = _samples(9, 1000)
+    for x in first:
+        a.record(x)
+    for x in second:
+        b.record(x)
+    a.merge(b)
+    for x in tail:
+        a.record(x)
+    exact = percentile(sorted(first + second + tail), 95.0)
+    assert a.count == 3000
+    assert a.value == pytest.approx(exact, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# LatencyRecorder.merge
+# ----------------------------------------------------------------------
+def test_exact_recorder_merge_is_exact():
+    a, b = LatencyRecorder("a"), LatencyRecorder("b")
+    a_samples = _samples(10, 500)
+    b_samples = _samples(11, 500)
+    a.extend(a_samples)
+    b.extend(b_samples)
+    a.merge(b)
+    combined = sorted(a_samples + b_samples)
+    assert a.count == 1000
+    assert a.mean == pytest.approx(sum(combined) / 1000)
+    assert a.max == max(combined)
+    assert a.p99 == pytest.approx(percentile(combined, 99.0))
+
+
+def test_streaming_recorder_merge_matches_exact_within_tolerance():
+    a = LatencyRecorder("a", streaming=True)
+    b = LatencyRecorder("b", streaming=True)
+    a_samples = _samples(12, 2000)
+    b_samples = _samples(13, 2000)
+    a.extend(a_samples)
+    b.extend(b_samples)
+    a.merge(b)
+    combined = sorted(a_samples + b_samples)
+    assert a.count == 4000
+    assert a.mean == pytest.approx(sum(combined) / 4000)
+    for q in STREAMING_QUANTILES:
+        assert a.percentile(q) == pytest.approx(
+            percentile(combined, q), rel=0.15), q
+
+
+def test_recorder_merge_rejects_mode_mismatch():
+    with pytest.raises(ValueError, match="exact and streaming"):
+        LatencyRecorder(streaming=True).merge(LatencyRecorder())
+
+
+def test_recorder_merge_empty_other_is_noop():
+    a = LatencyRecorder()
+    a.extend([1.0, 2.0])
+    a.merge(LatencyRecorder())
+    assert a.count == 2

@@ -1,0 +1,73 @@
+"""Overlay ablation reports: the decomposition survives removing stages."""
+
+import pytest
+
+from repro.trace.overlay import OVERLAYS, run_overlay
+
+MESSAGES = 60
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {name: run_overlay(name, messages=MESSAGES) for name in OVERLAYS}
+
+
+def test_full_path_attributes_at_least_five_hops(reports):
+    report = reports["full"]
+    report.check(max_residual=0.01, min_hops=5)
+    assert report.spans == MESSAGES
+
+
+@pytest.mark.parametrize("name", list(OVERLAYS))
+def test_every_overlay_accounts_honestly(reports, name):
+    report = reports[name]
+    assert report.spans == MESSAGES
+    assert report.hop_sum_total + report.residual_total == \
+        pytest.approx(report.e2e_total)
+    assert report.residual_fraction < 0.01
+
+
+@pytest.mark.parametrize("name", list(OVERLAYS))
+def test_bypassed_stages_carry_no_cost(reports, name):
+    report = reports[name]
+    for stage in OVERLAYS[name].bypassed:
+        hop = report.hops.get(stage)
+        if hop is not None:
+            assert hop["share"] < 0.01, \
+                f"{name}: bypassed {stage} still at {hop['share']:.1%}"
+
+
+def test_ablation_ladder_is_monotone(reports):
+    order = ("full", "bypass_er", "bypass_tor", "loopback_shell",
+             "sim_kernel_only")
+    means = [reports[name].e2e["mean"] for name in order]
+    assert all(a > b for a, b in zip(means, means[1:])), means
+
+
+def test_surviving_hops_keep_their_costs(reports):
+    # Removing the ER must not change what the LTL engine itself costs.
+    full = reports["full"].hops
+    bypass = reports["bypass_er"].hops
+    for stage in ("ltl.tx", "ltl.rx", "role.service"):
+        assert bypass[stage]["mean"] == \
+            pytest.approx(full[stage]["mean"], rel=0.05)
+
+
+def test_kernel_floor_is_role_service_only(reports):
+    report = reports["sim_kernel_only"]
+    assert set(report.hops) == {"role.service"}
+    assert report.e2e["mean"] == \
+        pytest.approx(report.hops["role.service"]["mean"])
+
+
+def test_run_overlay_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown overlay"):
+        run_overlay("nope")
+
+
+def test_overlay_runs_are_deterministic():
+    a = run_overlay("full", messages=20, seed=7)
+    b = run_overlay("full", messages=20, seed=7)
+    assert a.to_dict() == b.to_dict()
+    assert [s.marks for s in a.sampled_spans] == \
+        [s.marks for s in b.sampled_spans]
