@@ -16,13 +16,17 @@ Run standalone to append a run to the committed trajectory file::
     PYTHONPATH=src python benchmarks/bench_core_speed.py --quick    # CI
 
 or compare a fresh result against the committed baseline (exits 1 on a
->20% events/sec regression)::
+>20% regression of any guarded metric)::
 
     PYTHONPATH=src python benchmarks/bench_core_speed.py \
         --check BENCH_core.ci.json --baseline BENCH_core.json
 
 ``BENCH_core.json`` keeps a bounded ``history`` of prior runs so the
 performance trajectory across PRs stays in the repo, not in CI logs.
+The regression gate guards kernel, Fig. 10 *and* LTL round-trip
+throughput, and takes each metric's baseline as the best full-mode
+value across that history — not just the latest run — so regenerating
+the file in the same PR that regresses it does not hide the drop.
 """
 
 from __future__ import annotations
@@ -44,7 +48,8 @@ from repro.experiments.fig10 import DEFAULT_TIER_PAIRS  # noqa: E402
 from repro.sim import Environment  # noqa: E402
 
 #: Metrics guarded by ``--check`` (higher is better).
-GUARDED_METRICS = ("kernel_events_per_sec", "fig10_events_per_sec")
+GUARDED_METRICS = ("kernel_events_per_sec", "fig10_events_per_sec",
+                   "ltl_round_trips_per_sec")
 
 HISTORY_LIMIT = 50
 
@@ -102,7 +107,10 @@ def run_suite(quick: bool) -> Dict[str, object]:
     repeats = 2 if quick else 3
     n_timeouts = 50_000 if quick else 200_000
     ltl_messages = 500 if quick else 2_000
-    fig10_messages = 15 if quick else 60
+    # 30 (not 15) messages per pair: short runs under-amortize topology
+    # setup, which would skew the quick-vs-full baseline comparison the
+    # CI gate performs.
+    fig10_messages = 30 if quick else 60
 
     kernel = max((bench_kernel(n_timeouts) for _ in range(repeats)),
                  key=lambda r: r["events_per_sec"])
@@ -149,11 +157,45 @@ def write_result(result: Dict[str, object], path: Path) -> None:
     path.write_text(json.dumps(result, indent=1) + "\n")
 
 
+def _baseline_values(baseline: Dict[str, object]) -> Dict[str, float]:
+    """Best committed value per guarded metric across the trajectory.
+
+    The baseline file's top-level ``metrics`` are only the *latest* run.
+    A PR that regenerates ``BENCH_core.json`` in the same change that
+    regresses it would make the regression its own baseline — exactly how
+    the tracing-era 28% Fig. 10 drop merged unnoticed.  The gate therefore
+    compares against the best full-mode value anywhere in the committed
+    history, so CI keeps failing until throughput is genuinely recovered
+    (or the history is consciously rewritten).
+    """
+    entries = [baseline] + list(baseline.get("history", []))
+    full = [e for e in entries if not e.get("quick", False)] or entries
+    best: Dict[str, float] = {}
+    for entry in full:
+        metrics = entry.get("metrics", {})
+        for name in GUARDED_METRICS:
+            value = metrics.get(name)
+            if value is not None and value > best.get(name, 0.0):
+                best[name] = value
+    return best
+
+
 def check_regression(current_path: Path, baseline_path: Path,
-                     tolerance: float) -> int:
-    """Exit status 1 if any guarded metric regressed past tolerance."""
+                     tolerance: float, baseline_mode: str = "best") -> int:
+    """Exit status 1 if any guarded metric regressed past tolerance.
+
+    ``baseline_mode="best"`` (the regression gate) compares against the
+    best full-mode run across the committed history; ``"latest"``
+    compares against the baseline file's top-level metrics only — used
+    by the tight-tolerance overhead gate, where chasing an all-time
+    best from a different machine would be meaningless.
+    """
     current = json.loads(current_path.read_text())["metrics"]
-    baseline = json.loads(baseline_path.read_text())["metrics"]
+    baseline_doc = json.loads(baseline_path.read_text())
+    if baseline_mode == "latest":
+        baseline = baseline_doc["metrics"]
+    else:
+        baseline = _baseline_values(baseline_doc)
     failed = False
     for name in GUARDED_METRICS:
         cur, base = current.get(name), baseline.get(name)
@@ -187,10 +229,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=REPO_ROOT / "BENCH_core.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional events/sec drop")
+    parser.add_argument("--baseline-mode", choices=("best", "latest"),
+                        default="best",
+                        help="compare against the best full-mode run in "
+                             "the committed history (default) or only "
+                             "the baseline file's latest metrics")
     args = parser.parse_args(argv)
 
     if args.check is not None:
-        return check_regression(args.check, args.baseline, args.tolerance)
+        return check_regression(args.check, args.baseline, args.tolerance,
+                                args.baseline_mode)
 
     result = run_suite(quick=args.quick)
     for name, value in result["metrics"].items():

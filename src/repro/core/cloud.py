@@ -35,7 +35,10 @@ class ConfigurableCloud:
     def __init__(self, env: Optional[Environment] = None,
                  topology: Optional[TopologyConfig] = None,
                  seed: int = 0):
-        self.env = env or Environment()
+        # Explicit None check: Environment defines __len__ (scheduled
+        # entries), so a freshly created — hence empty — env is *falsy*
+        # and ``env or Environment()`` would silently discard it.
+        self.env = env if env is not None else Environment()
         self.streams = RandomStreams(seed=seed)
         self.fabric = DatacenterFabric(self.env, topology, self.streams)
         self.servers: Dict[int, Server] = {}

@@ -33,7 +33,7 @@ from itertools import count
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..net.dcqcn import CnpGenerator, DcqcnConfig, DcqcnRateController
-from ..sim import Environment, Event, RandomStreams, Store
+from ..sim import Environment, RandomStreams
 from .connection import (
     ConnectionError_,
     ConnectionTable,
@@ -56,6 +56,11 @@ from .frames import (
 )
 from .ratelimit import BandwidthLimiter, RandomEarlyDropper
 from ..trace.stages import Stage
+
+# Hoisted Stage members for the per-frame tap sites.
+_STAGE_LTL_TX = Stage.LTL_TX
+_STAGE_LTL_RETX = Stage.LTL_RETX
+_STAGE_LTL_RX = Stage.LTL_RX
 
 
 @dataclass
@@ -180,13 +185,20 @@ class LtlEngine:
                                             dropper=dropper,
                                             start_time=env.now)
         self._cnp = CnpGenerator(self.config.dcqcn)
-        self._pump_wakeup = Store(env)
+        # Send-pump state machine (macro-event form of the old generator
+        # parked on a Store; see _kick for the draw correspondence).
+        self._pump_parked = False
+        self._pump_stored = False
+        self._pump_ready: List[SendConnectionState] = []
+        self._pump_idx = 0
+        self._pump_frame: Optional[Tuple[SendConnectionState,
+                                         LtlFrame]] = None
         #: Set while the retransmit timer is parked with nothing unacked;
-        #: :meth:`_transmit` triggers it to restart the periodic scan.
-        self._timer_wakeup: Optional[Event] = None
+        #: :meth:`_transmit` reschedules the periodic scan.
+        self._timer_parked = False
         self._nack_outstanding: Dict[int, int] = {}
-        env.process(self._send_pump(), name=f"{self.name}:pump")
-        env.process(self._retransmit_timer(), name=f"{self.name}:timer")
+        env.call_later(0.0, self._pump_cycle)
+        env.call_later(0.0, self._timer_boot)
 
     # ------------------------------------------------------------------
     # Connection management (static allocation, per the paper)
@@ -277,9 +289,29 @@ class LtlEngine:
         self._kick()
         return message_id
 
+    # The send pump used to be a generator parked on a one-slot Store.
+    # It is now a chain of Deferred callbacks (macro-events): each frame
+    # costs one scheduled entry instead of a Timeout plus a Process
+    # resume, and each wake costs one entry instead of a StorePut +
+    # StoreGet pair.  Eliminated entries were no-op pops; they are
+    # compensated in ``events_processed`` so seeded counts stay
+    # bit-identical with the old machine.
     def _kick(self) -> None:
-        if len(self._pump_wakeup) == 0:
-            self._pump_wakeup.put(None)
+        if self._pump_stored:
+            return
+        env = self.env
+        if self._pump_parked:
+            # Wake: one Deferred where the Store drew StorePut (no-op)
+            # + StoreGet (resume) back to back.
+            self._pump_parked = False
+            env.events_processed += 1
+            env.call_later(0.0, self._pump_cycle)
+        else:
+            # Pump mid-boot or mid-cycle: the Store stashed the kick (one
+            # no-op StorePut event) and replayed it as a spurious wake at
+            # the next park attempt.
+            self._pump_stored = True
+            env.events_processed += 1
 
     def _sendable(self) -> List[SendConnectionState]:
         return [
@@ -287,45 +319,76 @@ class LtlEngine:
             if state.send_queue and not state.failed
             and state.in_flight < self.config.window_frames]
 
-    def _send_pump(self):
-        """Drain send queues, pacing by DC-QCN rate and the tx pipeline."""
+    def _pump_cycle(self) -> None:
+        """Pump loop top: snapshot sendable connections or park."""
+        ready = self._sendable()
+        if not ready:
+            if self._pump_stored:
+                # Replay a stashed kick: the old machine's get() found
+                # the stored item and immediately re-entered the loop.
+                self._pump_stored = False
+                self.env.call_later(0.0, self._pump_cycle)
+            else:
+                self._pump_parked = True
+            return
+        self._pump_ready = ready
+        self._pump_idx = 0
+        self._pump_advance()
+
+    def _pump_advance(self) -> None:
+        """Drain the snapshot from the current index, pacing by DC-QCN
+        rate and the tx pipeline; one Deferred hop per frame."""
         cfg = self.config
-        while True:
-            ready = self._sendable()
-            if not ready:
-                yield self._pump_wakeup.get()
+        env = self.env
+        ready = self._pump_ready
+        idx = self._pump_idx
+        while idx < len(ready):
+            state = ready[idx]
+            if not state.send_queue or \
+                    state.in_flight >= cfg.window_frames:
+                idx += 1
                 continue
-            for state in ready:
-                if not state.send_queue or \
-                        state.in_flight >= cfg.window_frames:
-                    continue
-                frame = state.send_queue.pop(0)
-                if self.limiter is not None and not self.limiter.admit(
-                        frame.wire_bytes, self.env.now):
-                    # Random early drop at the tap: the frame is *not*
-                    # transmitted now; it returns to the queue head and is
-                    # retried after a pacing delay (the reliable layer
-                    # means intent is never lost, only delayed).
-                    state.send_queue.insert(0, frame)
-                    self.stats.rate_limited_drops += 1
-                    yield self.env.timeout(
-                        frame.wire_bytes * 8 / self.limiter.bucket.rate_bps)
-                    continue
-                pacing = 0.0
-                if cfg.congestion_control:
-                    state.dcqcn.on_increase_timer(self.env.now)
-                    rate = state.dcqcn.current_rate
-                    if rate < state.dcqcn.config.line_rate_bps:
-                        pacing = frame.wire_bytes * 8 / rate
-                yield self.env.timeout(max(cfg.tx_latency, pacing))
-                self._transmit(state, frame, retransmission=False)
+            frame = state.send_queue.pop(0)
+            if self.limiter is not None and not self.limiter.admit(
+                    frame.wire_bytes, env.now):
+                # Random early drop at the tap: the frame is *not*
+                # transmitted now; it returns to the queue head and is
+                # retried after a pacing delay (the reliable layer
+                # means intent is never lost, only delayed).
+                state.send_queue.insert(0, frame)
+                self.stats.rate_limited_drops += 1
+                self._pump_idx = idx + 1
+                env.call_later(
+                    frame.wire_bytes * 8 / self.limiter.bucket.rate_bps,
+                    self._pump_advance)
+                return
+            pacing = 0.0
+            if cfg.congestion_control:
+                state.dcqcn.on_increase_timer(env.now)
+                rate = state.dcqcn.current_rate
+                if rate < state.dcqcn.config.line_rate_bps:
+                    pacing = frame.wire_bytes * 8 / rate
+            self._pump_idx = idx + 1
+            self._pump_frame = (state, frame)
+            env.call_later(max(cfg.tx_latency, pacing), self._pump_tx)
+            return
+        self._pump_cycle()
+
+    def _pump_tx(self) -> None:
+        state, frame = self._pump_frame
+        self._pump_frame = None
+        self._transmit(state, frame, retransmission=False)
+        self._pump_advance()
 
     def _transmit(self, state: SendConnectionState, frame: LtlFrame,
                   retransmission: bool) -> None:
         now = self.env.now
-        wake = self._timer_wakeup
-        if wake is not None and not wake.triggered:
-            wake.succeed()
+        if self._timer_parked:
+            # Restart the periodic retransmit scan (one Deferred where
+            # the old machine succeeded the park event and resumed the
+            # timer process).
+            self._timer_parked = False
+            self.env.call_later(0.0, self._timer_wake)
         entry = state.unacked.get(frame.seq)
         trace = frame.trace
         if entry is None:
@@ -336,8 +399,11 @@ class LtlEngine:
                 # First transmit: everything since the previous mark
                 # (send-queue wait, tx pipeline, pacing) is LTL tx time.
                 # Checkpoint the trail so a later retransmission can
-                # erase the doomed traversal's downstream marks.
-                trace.tap(Stage.LTL_TX, now)
+                # erase the doomed traversal's downstream marks.  The
+                # span is now in reliable custody: a downstream packet
+                # drop is recoverable, so drop sites must not abandon it.
+                trace.tap(_STAGE_LTL_TX, now)
+                trace.protected = True
                 entry.trace_checkpoint = trace.checkpoint()
         else:
             entry.last_sent_at = now
@@ -348,7 +414,7 @@ class LtlEngine:
                 # the whole wait since the original transmit to the
                 # retransmit bucket.
                 trace.rewind(entry.trace_checkpoint)
-                trace.tap(Stage.LTL_RETX, now)
+                trace.tap(_STAGE_LTL_RETX, now)
         state.frames_sent += 1
         self.stats.frames_sent += 1
         if retransmission:
@@ -380,48 +446,57 @@ class LtlEngine:
                 return True
         return False
 
-    def _retransmit_timer(self):
+    def _timer_boot(self) -> None:
+        """First scheduling decision of the retransmit timer."""
+        if self._timer_has_work():
+            self.env.call_later(self.config.timer_period, self._timer_tick)
+        else:
+            # Park until the next transmission instead of polling an
+            # idle engine every timer_period — on quiet engines this
+            # removes the dominant source of simulator events.
+            self._timer_parked = True
+
+    def _timer_wake(self) -> None:
+        self.env.call_later(self.config.timer_period, self._timer_tick)
+
+    def _timer_tick(self) -> None:
+        """One timer-wheel scan pass (the old timer process's loop body)."""
         cfg = self.config
-        while True:
-            if not self._timer_has_work():
-                # Park until the next transmission instead of polling an
-                # idle engine every timer_period — on quiet engines this
-                # removes the dominant source of simulator events.
-                self._timer_wakeup = wake = self.env.event()
-                yield wake
-                self._timer_wakeup = None
-            yield self.env.timeout(cfg.timer_period)
-            now = self.env.now
-            for state in list(self.send_table.values()):
-                if state.failed:
-                    if cfg.reconnect and state.unacked \
-                            and now >= state.reconnect_at:
-                        self._probe(state, now)
-                    continue
-                if not state.unacked:
-                    continue
-                # Mild exponential backoff (capped at 4x): congestion-
-                # induced ACK delay must not trigger a retransmission
-                # storm, but failure detection must stay fast.
-                backoff = cfg.retransmit_timeout * (
-                    1 << min(state.consecutive_timeouts, 2))
-                if state.oldest_unacked_age(now) < backoff:
-                    continue
-                self.stats.timeouts += 1
-                state.consecutive_timeouts += 1
-                if state.consecutive_timeouts > cfg.max_consecutive_timeouts:
-                    self._fail_connection(state)
-                    continue
-                if state.consecutive_timeouts >= self._degraded_threshold \
-                        and not state.degraded_reported:
-                    state.degraded_reported = True
-                    if self.on_connection_degraded is not None:
-                        self.on_connection_degraded(
-                            state.connection_id, state.remote_host)
-                # Conservative go-back-one: resend only the oldest frame;
-                # the cumulative ACK it elicits re-opens the window.
-                oldest = next(iter(state.unacked.values()))
-                self._transmit(state, oldest.frame, retransmission=True)
+        now = self.env.now
+        for state in list(self.send_table.values()):
+            if state.failed:
+                if cfg.reconnect and state.unacked \
+                        and now >= state.reconnect_at:
+                    self._probe(state, now)
+                continue
+            if not state.unacked:
+                continue
+            # Mild exponential backoff (capped at 4x): congestion-
+            # induced ACK delay must not trigger a retransmission
+            # storm, but failure detection must stay fast.
+            backoff = cfg.retransmit_timeout * (
+                1 << min(state.consecutive_timeouts, 2))
+            if state.oldest_unacked_age(now) < backoff:
+                continue
+            self.stats.timeouts += 1
+            state.consecutive_timeouts += 1
+            if state.consecutive_timeouts > cfg.max_consecutive_timeouts:
+                self._fail_connection(state)
+                continue
+            if state.consecutive_timeouts >= self._degraded_threshold \
+                    and not state.degraded_reported:
+                state.degraded_reported = True
+                if self.on_connection_degraded is not None:
+                    self.on_connection_degraded(
+                        state.connection_id, state.remote_host)
+            # Conservative go-back-one: resend only the oldest frame;
+            # the cumulative ACK it elicits re-opens the window.
+            oldest = next(iter(state.unacked.values()))
+            self._transmit(state, oldest.frame, retransmission=True)
+        if self._timer_has_work():
+            self.env.call_later(cfg.timer_period, self._timer_tick)
+        else:
+            self._timer_parked = True
 
     def _probe(self, state: SendConnectionState, now: float) -> None:
         """Reconnect attempt: resend the oldest frame of a failed
@@ -564,7 +639,7 @@ class LtlEngine:
             payload, total_bytes = pending.assemble()
             if frame.trace is not None:
                 # Reassembled delivery: rx pipeline + reassembly wait.
-                frame.trace.tap(Stage.LTL_RX, self.env.now)
+                frame.trace.tap(_STAGE_LTL_RX, self.env.now)
             # Drop-and-account at the delivery point: the protocol still
             # ACKs the frames (the go-back-N stream must stay gapless),
             # but an expired message is not handed to the role — the
@@ -572,6 +647,10 @@ class LtlEngine:
             expires_at = decode_deadline_us(frame.deadline_us)
             if expires_at is not None and self.env.now > expires_at:
                 self.stats.deadline_expired_rx += 1
+                if frame.trace is not None:
+                    # The frames are ACKed but the message dies here:
+                    # close the span so the recorder counts the drop.
+                    frame.trace.abandon(self.env.now)
                 return
             self.stats.messages_delivered += 1
             if self.on_message is not None:

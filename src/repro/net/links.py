@@ -15,7 +15,7 @@ attributed per physical hop at the point of arrival.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..sim import Environment
 from ..sim.units import serialization_delay
@@ -76,9 +76,15 @@ class Port:
         self.deliver = deliver
         self.queue_capacity_bytes = queue_capacity_bytes
         self.stats = PortStats()
-        self._queues: Dict[int, Deque[Packet]] = {
+        #: Per-class FIFO of (packet, wire_bytes) — the size is computed
+        #: once at enqueue and carried alongside, since ``wire_bytes`` is
+        #: a derived property re-walking the header stack on every call.
+        self._queues: Dict[int, Deque[Tuple[Packet, int]]] = {
             tc: deque() for tc in TrafficClass.ALL}
         self._queued_bytes: Dict[int, int] = {tc: 0 for tc in TrafficClass.ALL}
+        #: Running sum of ``_queued_bytes`` — kept incrementally so the
+        #: per-enqueue capacity check is O(1), not O(classes).
+        self._queued_total = 0
         self._paused: Dict[int, bool] = {tc: False for tc in TrafficClass.ALL}
         #: True while a packet is being serialized onto the wire.
         self._busy = False
@@ -92,7 +98,7 @@ class Port:
     # ------------------------------------------------------------------
     @property
     def queued_bytes_total(self) -> int:
-        return sum(self._queued_bytes.values())
+        return self._queued_total
 
     def queued_bytes(self, tc: int) -> int:
         return self._queued_bytes[tc]
@@ -107,11 +113,18 @@ class Port:
         tc = packet.traffic_class
         size = packet.wire_bytes
         if not TrafficClass.is_lossless(tc) and \
-                self.queued_bytes_total + size > self.queue_capacity_bytes:
+                self._queued_total + size > self.queue_capacity_bytes:
             self.stats.dropped += 1
+            trace = packet.trace
+            if trace is not None and not trace.protected:
+                # Terminal loss (no reliable transport will resend):
+                # close the span here so the recorder counts the drop
+                # instead of leaking an open span.
+                trace.abandon(self.env.now)
             return False
-        self._queues[tc].append(packet)
+        self._queues[tc].append((packet, size))
         self._queued_bytes[tc] += size
+        self._queued_total += size
         self.stats.enqueued += 1
         self._kick()
         return True
@@ -151,27 +164,29 @@ class Port:
         if not self._busy:
             self._start_next()
 
-    def _next_packet(self) -> Optional[Packet]:
+    def _next_packet(self) -> Optional[Tuple[Packet, int]]:
         for tc in _DRAIN_ORDER:
             if self._queues[tc] and not self._paused[tc]:
-                packet = self._queues[tc].popleft()
-                self._queued_bytes[tc] -= packet.wire_bytes
-                return packet
+                packet, size = self._queues[tc].popleft()
+                self._queued_bytes[tc] -= size
+                self._queued_total -= size
+                return packet, size
         return None
 
     def _start_next(self) -> None:
         """Begin serializing the next eligible packet, if any."""
-        packet = self._next_packet()
-        if packet is None:
+        item = self._next_packet()
+        if item is None:
             return
+        packet, size = item
         self._busy = True
-        delay = serialization_delay(packet.wire_bytes, self.rate_bps)
-        self.env.call_later(delay, self._finish_tx, packet)
+        delay = serialization_delay(size, self.rate_bps)
+        self.env.call_later(delay, self._finish_tx, packet, size)
 
-    def _finish_tx(self, packet: Packet) -> None:
+    def _finish_tx(self, packet: Packet, size: int) -> None:
         """Serialization done: launch the packet, pick up the next one."""
         self.stats.transmitted += 1
-        self.stats.bytes_transmitted += packet.wire_bytes
+        self.stats.bytes_transmitted += size
         if self.on_transmit is not None:
             self.on_transmit(packet)
         deliver = self.deliver

@@ -25,6 +25,9 @@ from .latency import BackgroundTrafficModel, JitterStream
 from .links import Port
 from .packet import Packet, TrafficClass
 
+# Hoisted Stage member for the per-packet ingress tap.
+_STAGE_LINK_WIRE = Stage.LINK_WIRE
+
 
 @dataclass
 class EcnConfig:
@@ -130,12 +133,13 @@ class Switch:
         """Accept a packet from a link; forwarding happens asynchronously."""
         self.stats.received += 1
         packet.hops += 1
-        if packet.trace is not None:
+        trace = packet.trace
+        if trace is not None:
             # The interval since the previous mark is the upstream link:
             # serialization + propagation + port queueing.  Wire time is
             # attributed at the receiver because the sender's port drains
             # asynchronously (see repro.net.links).
-            packet.trace.tap(Stage.LINK_WIRE, self.env.now)
+            trace.tap(_STAGE_LINK_WIRE, self.env.now)
         delay = self.forwarding_latency
         if self.background is not None:
             jitter = self._jitter

@@ -69,6 +69,10 @@ class ThreeTierTopology:
         self._tors: Dict[Tuple[int, int], Switch] = {}
         self._l1s: Dict[int, Switch] = {}
         self._l2: Optional[Switch] = None
+        # Routing memoization (pure address arithmetic; see router methods).
+        self._mac_cache: Dict[str, int] = {}
+        self._coords_cache: Dict[int, HostCoordinates] = {}
+        self._switch_pos: Dict[str, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # Coordinates and physics
@@ -182,26 +186,51 @@ class ThreeTierTopology:
     # ------------------------------------------------------------------
     # Routing (installed on switches; destination from the packet MAC)
     # ------------------------------------------------------------------
+    # Per-packet routing is pure address arithmetic, so everything
+    # reusable is memoized: the MAC-string parse and the coordinate
+    # split are cached per destination, and each switch's own position
+    # is bound into its router closure instead of being re-parsed from
+    # the switch name on every packet.
     def _dst_index(self, packet: Packet) -> int:
-        from .addressing import mac_to_host_index
-        return mac_to_host_index(packet.eth.dst_mac)
+        mac = packet.eth.dst_mac
+        dst = self._mac_cache.get(mac)
+        if dst is None:
+            from .addressing import mac_to_host_index
+            dst = self._mac_cache[mac] = mac_to_host_index(mac)
+        return dst
+
+    def _coords_cached(self, host_index: int) -> "HostCoordinates":
+        coords = self._coords_cache.get(host_index)
+        if coords is None:
+            coords = self._coords_cache[host_index] = self.coords(host_index)
+        return coords
 
     def _route_tor(self, switch: Switch, packet: Packet) -> object:
         dst = self._dst_index(packet)
-        coords = self.coords(dst)
-        my_pod, my_tor = (int(part) for part in switch.name.split("-")[1:3])
+        coords = self._coords_cached(dst)
+        my_pod, my_tor = self._switch_coords(switch)
         if coords.pod == my_pod and coords.tor == my_tor:
             return dst  # host-facing port keyed by host index
         return "uplink"
 
     def _route_l1(self, switch: Switch, packet: Packet) -> object:
         dst = self._dst_index(packet)
-        coords = self.coords(dst)
-        my_pod = int(switch.name.split("-")[1])
+        coords = self._coords_cached(dst)
+        my_pod, _ = self._switch_coords(switch)
         if coords.pod == my_pod:
             return ("tor", coords.tor)
         return "uplink"
 
     def _route_l2(self, _switch: Switch, packet: Packet) -> object:
         dst = self._dst_index(packet)
-        return ("pod", self.coords(dst).pod)
+        return ("pod", self._coords_cached(dst).pod)
+
+    def _switch_coords(self, switch: Switch) -> Tuple[int, int]:
+        """(pod, tor) of a tor/l1 switch, parsed from its name once."""
+        pos = self._switch_pos.get(switch.name)
+        if pos is None:
+            parts = switch.name.split("-")
+            pod = int(parts[1])
+            tor = int(parts[2]) if len(parts) > 2 else -1
+            pos = self._switch_pos[switch.name] = (pod, tor)
+        return pos

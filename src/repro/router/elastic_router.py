@@ -23,13 +23,17 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-from ..sim import Environment, Event, Store
+from ..sim import Environment, Event
 from ..trace.stages import Stage
 from .credits import CreditPool, make_credit_pool
 from .flit import Flit, Message, packetize
 
 #: Clock frequency of the ER in the production-deployed image (Fig. 5).
 DEFAULT_FREQ_HZ = 175e6
+
+# Hoisted Stage members for the per-flit tap sites.
+_STAGE_ER_INGRESS = Stage.ER_INGRESS
+_STAGE_ER_SWITCH = Stage.ER_SWITCH
 
 
 @dataclass
@@ -94,9 +98,15 @@ class ElasticRouter:
             [None] * num_ports
         # Round-robin arbitration pointer per output port.
         self._rr: List[int] = [0] * num_ports
-        self._wakeup = Store(env)
+        # Clock state machine (macro-event form of the old Store-parked
+        # clock process; see _kick for the state/draw correspondence).
         self._running = False
-        env.process(self._clock(), name=f"er:{name}")
+        self._parked = False
+        self._stored = False
+        # Running flit count across all input buffers, so _step need not
+        # re-sum every queue per cycle.
+        self._occupancy = 0
+        env.call_later(0.0, self._boot)
 
     # ------------------------------------------------------------------
     # Public API
@@ -153,22 +163,63 @@ class ElasticRouter:
     # ------------------------------------------------------------------
     # Clock
     # ------------------------------------------------------------------
+    # The clock used to be a generator parked on a one-slot Store; every
+    # wake cost a Process resume plus two Store events.  It is now a
+    # macro-event state machine of chained Deferreds.  Determinism note:
+    # each transition schedules exactly as many queue entries, at the
+    # same instants, as the Store machine did — wakes collapse the old
+    # consecutive StorePut+StoreGet pair into one Deferred, and stashed
+    # kicks drop the StorePut entirely; both eliminations are no-op pops
+    # compensated in ``events_processed`` so seeded event counts stay
+    # bit-identical.
     def _kick(self) -> None:
-        if not self._running and len(self._wakeup) == 0:
-            self._wakeup.put(None)
+        if self._running or self._stored:
+            return
+        env = self.env
+        if self._parked:
+            # Wake the parked clock: one Deferred where the Store drew
+            # StorePut (no-op) + StoreGet (resume) back to back.
+            self._parked = False
+            env.events_processed += 1
+            env.call_later(0.0, self._wake)
+        else:
+            # Clock mid-boot, mid-wake, or bootstrap-running: the Store
+            # stashed the kick as an item (one no-op StorePut event) and
+            # replayed it as a spurious wake at the next park attempt.
+            self._stored = True
+            env.events_processed += 1
 
     def _has_work(self) -> bool:
-        return any(self._pending) or any(
-            q for port in self._buffers for q in port)
+        return any(self._pending) or self._occupancy > 0
 
-    def _clock(self):
-        while True:
-            if not self._has_work():
-                self._running = False
-                yield self._wakeup.get()
-                self._running = True
-            yield self.env.timeout(self.cycle_time)
-            self._step()
+    def _boot(self) -> None:
+        """First scheduling decision (the old process bootstrap)."""
+        if self._has_work():
+            self.env.call_later(self.cycle_time, self._tick)
+        elif self._stored:
+            self._stored = False
+            self.env.call_later(0.0, self._wake)
+        else:
+            self._parked = True
+
+    def _wake(self) -> None:
+        self._running = True
+        self.env.call_later(self.cycle_time, self._tick)
+
+    def _tick(self) -> None:
+        self._step()
+        if self._has_work():
+            self.env.call_later(self.cycle_time, self._tick)
+        elif self._stored:
+            # Replay a kick stashed while the clock was running: the old
+            # machine's get() found the stored item and span one more
+            # (idle) cycle before parking for real.
+            self._stored = False
+            self._running = False
+            self.env.call_later(0.0, self._wake)
+        else:
+            self._running = False
+            self._parked = True
 
     def _step(self) -> None:
         """One router cycle: buffer injections, then switch allocation."""
@@ -176,10 +227,8 @@ class ElasticRouter:
         self._admit_pending()
         # Occupancy is sampled between admission and switch allocation —
         # the instant buffers are fullest within a cycle.
-        occupancy = sum(self.buffer_occupancy(p)
-                        for p in range(self.num_ports))
-        if occupancy > self.stats.peak_buffer_occupancy:
-            self.stats.peak_buffer_occupancy = occupancy
+        if self._occupancy > self.stats.peak_buffer_occupancy:
+            self.stats.peak_buffer_occupancy = self._occupancy
         self._allocate_and_switch()
 
     def _admit_pending(self) -> None:
@@ -192,36 +241,45 @@ class ElasticRouter:
             if self._credits[port].try_acquire(flit.vc):
                 pending.popleft()
                 self._buffers[port][flit.vc].append(flit)
+                self._occupancy += 1
                 if flit.is_head and flit.message.trace is not None:
                     # Pending wait + credit stalls up to buffer entry.
-                    flit.message.trace.tap(Stage.ER_INGRESS, self.env.now)
+                    flit.message.trace.tap(_STAGE_ER_INGRESS, self.env.now)
                 if flit.is_tail and not done.triggered:
                     done.succeed()
             else:
                 self.stats.injection_stall_cycles += 1
 
-    def _candidates_for_output(self, out_port: int):
-        """Yield (in_port, vc) pairs whose head-of-queue flit wants
-        ``out_port`` and is allowed to proceed."""
+    def _candidates(self) -> Dict[int, List[Tuple[int, int]]]:
+        """(in_port, vc) pairs whose head-of-queue flit may proceed,
+        grouped by requested output port.
+
+        One pass over the input queues instead of one per output: safe
+        because a move for an earlier output can only invalidate the
+        head of a queue whose input port is already in ``inputs_used``
+        (filtered below) and only touches that output's own lock.
+        """
+        wants: Dict[int, List[Tuple[int, int]]] = {}
+        locks = self._output_locks
         for in_port in range(self.num_ports):
-            for vc in range(self.num_vcs):
-                queue = self._buffers[in_port][vc]
+            for vc, queue in enumerate(self._buffers[in_port]):
                 if not queue:
                     continue
                 flit = queue[0]
-                if flit.dst_port != out_port:
-                    continue
-                lock = self._output_locks.get((out_port, vc))
-                if flit.is_head:
-                    if lock is None:
-                        yield (in_port, vc)
-                elif lock == (in_port, vc):
-                    yield (in_port, vc)
+                out_port = flit.dst_port
+                lock = locks.get((out_port, vc))
+                if (lock is None) if flit.is_head else \
+                        (lock == (in_port, vc)):
+                    wants.setdefault(out_port, []).append((in_port, vc))
+        return wants
 
     def _allocate_and_switch(self) -> None:
+        if not self._occupancy:
+            return
+        wants = self._candidates()
         inputs_used = set()
-        for out_port in range(self.num_ports):
-            candidates = [c for c in self._candidates_for_output(out_port)
+        for out_port in sorted(wants):
+            candidates = [c for c in wants[out_port]
                           if c[0] not in inputs_used]
             if not candidates:
                 continue
@@ -237,6 +295,7 @@ class ElasticRouter:
 
     def _move_flit(self, in_port: int, vc: int, out_port: int) -> None:
         flit = self._buffers[in_port][vc].popleft()
+        self._occupancy -= 1
         self._credits[in_port].release(vc)
         self.stats.flits_switched += 1
         if flit.is_head:
@@ -256,12 +315,16 @@ class ElasticRouter:
         message.delivered_at = self.env.now
         if message.trace is not None:
             # Crossbar residency: buffer entry through tail-flit exit.
-            message.trace.tap(Stage.ER_SWITCH, self.env.now)
+            message.trace.tap(_STAGE_ER_SWITCH, self.env.now)
         # Deadline check at the output port: an expired message has
         # already consumed its crossbar bandwidth, but the endpoint's
         # time is still worth saving (drop-and-account).
         if message.deadline is not None and self.env.now > message.deadline:
             self.stats.deadline_drops += 1
+            if message.trace is not None:
+                # Terminal drop: close the span so the recorder counts
+                # the deadline-expired request instead of leaking it.
+                message.trace.abandon(self.env.now)
             return
         self.stats.messages_delivered += 1
         self.stats.per_vc_delivered[vc] = \

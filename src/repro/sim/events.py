@@ -1,9 +1,9 @@
 """Event primitives for the discrete-event simulation kernel.
 
 The kernel (:mod:`repro.sim.kernel`) advances virtual time by popping the
-earliest scheduled :class:`Event` from a heap and running its callbacks.
-Processes — Python generators that ``yield`` events — are resumed whenever
-the event they are waiting on succeeds or fails.
+earliest scheduled :class:`Event` from its calendar queue and running its
+callbacks.  Processes — Python generators that ``yield`` events — are
+resumed whenever the event they are waiting on succeeds or fails.
 
 The design intentionally mirrors a minimal SimPy: ``Environment.process``
 wraps a generator into a :class:`Process`, ``Environment.timeout`` creates a
@@ -16,17 +16,22 @@ Everything here sits under every simulated packet, frame and RPC, so the
 implementation trades a little elegance for constant-factor speed:
 
 * every event class uses ``__slots__`` (no per-event ``__dict__``),
-* trigger paths push ``(time, priority, seq, event)`` tuples straight onto
-  the environment's heap instead of going through ``Environment.schedule``,
+* trigger paths call ``env._push(time, priority, event)`` — the kernel's
+  raw calendar-queue insert — instead of going through
+  ``Environment.schedule``,
 * :class:`Deferred` is a two-slot pseudo-event carrying a bare callback for
   one-shot "run ``fn(*args)`` after ``delay``" work, so subsystems don't
   need to spin up a whole :class:`Process` (generator + bootstrap event)
-  just to apply a fixed latency.
+  just to apply a fixed latency,
+* a :class:`Process` is itself the callback registered on the event it
+  waits on (``__call__`` aliases :meth:`Process._resume`): appending the
+  process avoids allocating a fresh bound method per resume, and lets
+  the kernel's inlined run loop recognize process waiters and resume
+  them without an extra call frame.
 """
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Any, Callable, Generator, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -35,7 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 #: Sentinel stored in :attr:`Event._value` while the event is still pending.
 PENDING = object()
 
-#: Priority of normal events on the heap (re-exported by the kernel).
+#: Priority of normal events on the schedule (re-exported by the kernel).
 NORMAL = 1
 #: Priority of urgent events (processed before normal ones at equal time).
 URGENT = 0
@@ -57,7 +62,7 @@ class Interrupt(SimulationError):
 
 
 class Deferred:
-    """A one-shot scheduled callback: the cheapest possible heap entry.
+    """A one-shot scheduled callback: the cheapest possible schedule entry.
 
     The kernel runs ``fn(*args)`` when the entry's time arrives — no
     callback list, no success/failure state, nothing to wait on.  Created
@@ -92,7 +97,7 @@ class Event:
     """A condition that may succeed (with a value) or fail (with an error).
 
     Events move through three states: *pending* (just created), *triggered*
-    (scheduled on the event heap but callbacks not yet run) and *processed*
+    (scheduled on the event queue but callbacks not yet run) and *processed*
     (callbacks executed).  Callbacks are plain callables receiving the event.
     """
 
@@ -137,7 +142,7 @@ class Event:
         self._ok = True
         self._value = value
         env = self.env
-        heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
+        env._push(env._now, NORMAL, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -153,7 +158,7 @@ class Event:
         self._ok = False
         self._value = exception
         env = self.env
-        heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
+        env._push(env._now, NORMAL, self)
         return self
 
     def __repr__(self) -> str:
@@ -170,15 +175,16 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        # Inlined Event.__init__ + Environment.schedule: timeouts are the
-        # single most created object in any simulation.
+        # Inlined Event.__init__: timeouts are the single most created
+        # object in any simulation.  (Environment.timeout additionally
+        # inlines this whole constructor plus the queue insert.)
         self.env = env
         self.callbacks = []
         self._value = value
         self._ok = True
         self._defused = False
         self.delay = delay
-        heappush(env._queue, (env._now + delay, NORMAL, next(env._seq), self))
+        env._push(env._now + delay, NORMAL, self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -193,9 +199,15 @@ class Process(Event):
     A process wraps a generator that yields :class:`Event` objects.  The
     process itself is an event: it succeeds with the generator's return value
     or fails with any uncaught exception, so processes can wait on each other.
+
+    The process object is registered *itself* as the callback on whatever
+    event it waits on (it is callable; calling it resumes the generator).
+    The kernel's inlined run loop relies on this to recognize and resume
+    process waiters without any intermediate frames — keep
+    :meth:`_resume` in sync with that inline copy when changing either.
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_send", "_target", "name")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: Optional[str] = None):
@@ -203,13 +215,13 @@ class Process(Event):
         if not hasattr(generator, "send"):
             raise TypeError(f"{generator!r} is not a generator")
         self.generator = generator
+        self._send = generator.send
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None when ready).
         self._target: Optional[Event] = None
         # Bootstrap: resume the generator at the current simulation time.
         # A Deferred is enough — nothing ever waits on the bootstrap event.
-        heappush(env._queue, (env._now, NORMAL, next(env._seq),
-                              Deferred(self._resume, (_BOOT,))))
+        env._push(env._now, NORMAL, Deferred(self._resume, (_BOOT,)))
 
     @property
     def is_alive(self) -> bool:
@@ -225,24 +237,48 @@ class Process(Event):
         # Detach from the event currently waited on, then schedule a
         # poisoned resumption.
         target = self._target
-        if target.callbacks is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        if target.callbacks is not None and self in target.callbacks:
+            target.callbacks.remove(self)
         self._target = None
         poison = Event(self.env)
-        poison.callbacks.append(self._resume)
+        poison.callbacks.append(self)
         poison._ok = False
         poison._value = Interrupt(cause)
         poison._defused = True
         self.env.schedule(poison)
 
+    def _continue_processed(self, result: Event) -> None:
+        """Re-arm on an event that has already been processed.
+
+        Waiting on a processed event resumes the process immediately (at
+        the current time, in FIFO turn) via a relay event carrying the
+        original outcome.
+        """
+        env = self.env
+        immediate = Event.__new__(Event)
+        immediate.env = env
+        immediate.callbacks = [self]
+        immediate._ok = result._ok
+        immediate._value = result._value
+        immediate._defused = False
+        if not result._ok:
+            result._defused = True
+            immediate._defused = True
+        env._push(env._now, NORMAL, immediate)
+        self._target = immediate
+
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the outcome of ``event``."""
+        """Advance the generator with the outcome of ``event``.
+
+        Mirrored by the inlined dispatch in :meth:`Environment.run`; any
+        behavioral change here must be made there too.
+        """
         env = self.env
         env._active_process = self
         self._target = None
         try:
             if event._ok:
-                result = self.generator.send(event._value)
+                result = self._send(event._value)
             else:
                 event._defused = True
                 result = self.generator.throw(event._value)
@@ -250,35 +286,34 @@ class Process(Event):
             env._active_process = None
             self._ok = True
             self._value = stop.value
-            heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
+            env._push(env._now, NORMAL, self)
             return
         except BaseException as exc:
             env._active_process = None
             self._ok = False
             self._value = exc
-            heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
+            env._push(env._now, NORMAL, self)
             return
         env._active_process = None
 
-        if not isinstance(result, Event):
+        try:
+            callbacks = result.callbacks
+        except AttributeError:
             raise SimulationError(
-                f"process {self.name!r} yielded non-event {result!r}")
-        if result.callbacks is None:
+                f"process {self.name!r} yielded non-event {result!r}"
+            ) from None
+        if callbacks is None:
             # Already processed: resume immediately at the current time.
-            immediate = Event(env)
-            immediate._ok = result._ok
-            immediate._value = result._value
-            if not result._ok:
-                result._defused = True
-                immediate._defused = True
-            immediate.callbacks.append(self._resume)
-            env.schedule(immediate)
-            self._target = immediate
+            self._continue_processed(result)
         else:
-            result.callbacks.append(self._resume)
+            callbacks.append(self)
             self._target = result
-            if not result._ok and result.triggered:
+            if not result._ok and result._value is not PENDING:
                 result._defused = True
+
+    #: Calling a process delivers an event outcome to it, so the process
+    #: object itself can sit in an event's callback list.
+    __call__ = _resume
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"

@@ -56,10 +56,10 @@ class Tracer:
         env.step = self._traced_step  # type: ignore[method-assign]
 
     def _describe(self) -> Optional[TraceRecord]:
-        queue = self.env._queue
-        if not queue:
+        entry = self.env.peek_entry()
+        if entry is None:
             return None
-        when, _prio, _seq, event = queue[0]
+        when, _prio, _seq, event = entry
         kind = type(event).__name__
         detail = getattr(event, "name", "") or repr(event)
         return TraceRecord(time=when, kind=kind, detail=detail)

@@ -55,7 +55,8 @@ class TraceContext:
         the streaming digests) on completion.
     """
 
-    __slots__ = ("t0", "request_id", "sampled", "marks", "meta")
+    __slots__ = ("t0", "request_id", "sampled", "marks", "meta",
+                 "owner", "closed", "protected")
 
     def __init__(self, t0: float, request_id: Any = None, sampled: bool = False):
         self.t0 = t0
@@ -63,12 +64,39 @@ class TraceContext:
         self.sampled = sampled
         self.marks: List[Tuple[Any, float]] = []
         self.meta: Any = None
+        #: The recorder that opened this span (None for bare contexts).
+        self.owner: Any = None
+        #: True once the span has been completed or abandoned.
+        self.closed = False
+        #: True while the request is in the custody of a reliable
+        #: transport (LTL): a packet drop is then recoverable — the frame
+        #: will be retransmitted — so drop sites must NOT abandon the
+        #: span.  Set by the LTL engine at first transmit.
+        self.protected = False
 
     # -- hot path ---------------------------------------------------------
 
     def tap(self, stage, now: float) -> None:
         """Attribute the interval since the previous mark to ``stage``."""
         self.marks.append((stage, now))
+
+    # -- drop handling -----------------------------------------------------
+
+    def abandon(self, now: float) -> None:
+        """Close the span at a drop point (packet dropped, deadline hit).
+
+        Routes to the owning recorder's :meth:`~repro.trace.recorder.
+        TraceRecorder.abandon` so dropped requests are counted instead of
+        leaking; a bare context (no owner) just marks itself closed.
+        Idempotent, and a no-op after normal completion.
+        """
+        if self.closed:
+            return
+        owner = self.owner
+        if owner is not None:
+            owner.abandon(self, now)
+        else:
+            self.closed = True
 
     # -- retransmit rollback ---------------------------------------------
 

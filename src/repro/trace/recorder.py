@@ -106,7 +106,13 @@ class TraceRecorder:
         self._residual_total = 0.0
         self._e2e_total = 0.0
         self._spans: List[SpanRecord] = []
+        self.started = 0
         self.completed = 0
+        #: Spans closed at a drop point (queue overflow, expired
+        #: deadline) instead of delivery.  Their attributed hop time is
+        #: folded into the digests — the time was really spent — but
+        #: they do not contribute to the end-to-end latency quantiles.
+        self.abandoned = 0
 
     # -- span lifecycle ---------------------------------------------------
 
@@ -114,7 +120,33 @@ class TraceRecorder:
         """Open a span at ``t0``; sampling is decided here, deterministically."""
         sampled = (self.sample_rate > 0.0
                    and self._rng.random() < self.sample_rate)
-        return TraceContext(t0, request_id=request_id, sampled=sampled)
+        self.started += 1
+        ctx = TraceContext(t0, request_id=request_id, sampled=sampled)
+        ctx.owner = self
+        return ctx
+
+    def abandon(self, ctx: TraceContext, now: float) -> None:
+        """Close a span at a drop point so it is counted, not leaked.
+
+        Keeps the honest-accounting invariant: the abandoned span's hop
+        durations and residual are folded into the totals with
+        ``e2e = now - t0``, so ``hop_sum_total + residual_total ==
+        e2e_total`` still holds exactly.  Idempotent; a no-op once the
+        span completed normally.
+        """
+        if ctx.closed:
+            return
+        ctx.closed = True
+        self.abandoned += 1
+        e2e = now - ctx.t0
+        self._e2e_total += e2e
+        for stage, duration in ctx.totals().items():
+            name = stage_name(stage)
+            hop = self._hops.get(name)
+            if hop is None:
+                hop = self._hops[name] = _HopStats()
+            hop.record(duration)
+        self._residual_total += now - ctx.last_time
 
     def complete(self, ctx: TraceContext, now: float) -> None:
         """Close a span at ``now`` and fold it into the digests.
@@ -124,6 +156,9 @@ class TraceRecorder:
         captured :class:`SpanRecord` so later reuse/rewind of the
         context cannot mutate a stored span.
         """
+        if ctx.closed:
+            return
+        ctx.closed = True
         self.completed += 1
         e2e = now - ctx.t0
         self._e2e_total += e2e
@@ -177,6 +212,7 @@ class TraceRecorder:
             e2e_total=self._e2e_total,
             residual_total=self._residual_total,
             sampled_spans=tuple(self._spans),
+            abandoned_spans=self.abandoned,
         )
 
 
@@ -196,6 +232,8 @@ class TraceReport:
     e2e_total: float
     residual_total: float
     sampled_spans: Tuple[SpanRecord, ...] = ()
+    #: Spans closed at a drop point (see :meth:`TraceRecorder.abandon`).
+    abandoned_spans: int = 0
 
     @property
     def residual_fraction(self) -> float:
@@ -255,6 +293,7 @@ class TraceReport:
         """JSON-serializable view (used by ``BENCH_trace.json``)."""
         return {
             "spans": self.spans,
+            "abandoned_spans": self.abandoned_spans,
             "hops": self.hops,
             "e2e": self.e2e,
             "hop_sum_total": self.hop_sum_total,

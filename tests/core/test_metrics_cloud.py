@@ -193,3 +193,13 @@ class TestThroughputMeterWindow:
         meter.record(12.0)
         assert meter.rate() == pytest.approx(1.0)
         assert meter.rate(now=14.0) == pytest.approx(0.5)
+
+
+def test_cloud_uses_caller_supplied_env():
+    """Environment defines __len__, so an empty env is falsy — the cloud
+    must None-check rather than `env or ...`, which silently discarded
+    a caller's env (and with it any scheduler/backend choice)."""
+    from repro.sim import Environment
+    env = Environment(scheduler="heapq")
+    cloud = ConfigurableCloud(env=env, seed=3)
+    assert cloud.env is env

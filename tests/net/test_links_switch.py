@@ -230,3 +230,72 @@ class TestSwitch:
         env.run(until=60.0)
         assert switch.stats.pfc_resume_sent >= 1
         assert not upstream.is_paused(TrafficClass.LOSSLESS)
+
+
+class TestQueuedBytesAccounting:
+    def test_running_total_tracks_per_class_dicts(self):
+        """The O(1) running total must equal the per-class sums at every
+        point of the drain, including across enqueues and transmits."""
+        env = Environment()
+        port = Port(env, "p", rate_bps=40e9, distance_m=0.0,
+                    deliver=lambda p: None)
+
+        def invariant():
+            assert port.queued_bytes_total == sum(
+                port.queued_bytes(tc) for tc in TrafficClass.ALL)
+
+        invariant()
+        for size, tc in ((100, TrafficClass.BEST_EFFORT),
+                         (500, TrafficClass.LOSSLESS),
+                         (64, TrafficClass.BEST_EFFORT),
+                         (1400, TrafficClass.LOSSLESS)):
+            port.enqueue(make_packet(payload_bytes=size, tc=tc))
+            invariant()
+        while len(env):
+            env.step()
+            invariant()
+        assert port.queued_bytes_total == 0
+
+    def test_running_total_unchanged_by_drop(self):
+        env = Environment()
+        port = Port(env, "p", rate_bps=40e9, distance_m=0.0,
+                    deliver=lambda p: None, queue_capacity_bytes=200)
+        assert port.enqueue(make_packet(payload_bytes=50))
+        before = port.queued_bytes_total
+        assert not port.enqueue(make_packet(payload_bytes=5000))
+        assert port.queued_bytes_total == before
+        assert port.queued_bytes_total == sum(
+            port.queued_bytes(tc) for tc in TrafficClass.ALL)
+
+
+class TestDropAbandonsSpan:
+    def test_tail_drop_abandons_unprotected_span(self):
+        from repro.trace import TraceRecorder
+        env = Environment()
+        recorder = TraceRecorder()
+        port = Port(env, "p", rate_bps=40e9, distance_m=0.0,
+                    deliver=lambda p: None, queue_capacity_bytes=200)
+        assert port.enqueue(make_packet(payload_bytes=100))
+        doomed = make_packet(payload_bytes=5000)
+        doomed.trace = recorder.start(env.now)
+        assert not port.enqueue(doomed)
+        # The drop is terminal for an unprotected request: the recorder
+        # must count the span instead of leaking it open.
+        assert recorder.abandoned == 1
+        assert doomed.trace.closed
+
+    def test_tail_drop_spares_protected_span(self):
+        from repro.trace import TraceRecorder
+        env = Environment()
+        recorder = TraceRecorder()
+        port = Port(env, "p", rate_bps=40e9, distance_m=0.0,
+                    deliver=lambda p: None, queue_capacity_bytes=200)
+        assert port.enqueue(make_packet(payload_bytes=100))
+        doomed = make_packet(payload_bytes=5000)
+        doomed.trace = recorder.start(env.now)
+        # In LTL custody the frame will be retransmitted: the drop is
+        # recoverable and must NOT close the span.
+        doomed.trace.protected = True
+        assert not port.enqueue(doomed)
+        assert recorder.abandoned == 0
+        assert not doomed.trace.closed

@@ -151,3 +151,28 @@ class TestRouterPropagation:
         env.run(until=2e-3)
         assert [m.payload for m in got] == [b"live"]
         assert router.stats.deadline_drops == 1
+
+
+class TestRxDeadlineAbandonsSpan:
+    def test_rx_expired_message_span_counted_by_recorder(self):
+        """A traced message whose deadline expires in flight must close
+        its span at the rx drop point — the recorder counts it instead
+        of leaking an open span (and the residual gate staying honest)."""
+        from repro.trace import TraceRecorder
+        env = Environment()
+        transport = DirectTransport(env, delay=5e-4)  # slow wire
+        a = LtlEngine(env, host_index=0, config=LtlConfig())
+        b = LtlEngine(env, host_index=1, config=LtlConfig())
+        transport.register(a)
+        transport.register(b)
+        conn, _ = connect_pair(a, b)
+        got = []
+        b.on_message = lambda c, p, n: got.append(p)
+        recorder = TraceRecorder()
+        ctx = recorder.start(env.now)
+        a.send_message(conn, b"doomed", 6, deadline=1e-4, trace=ctx)
+        env.run(until=5e-3)
+        assert got == []
+        assert b.stats.deadline_expired_rx == 1
+        assert recorder.abandoned == 1
+        assert ctx.closed

@@ -157,3 +157,58 @@ def test_report_format_table_and_to_dict():
     for entry in payload["hops"].values():
         assert {"count", "total", "mean", "share",
                 "p50", "p99", "p99_9"} <= set(entry)
+
+
+# ----------------------------------------------------------------------
+# Abandon: spans closed at a drop point must be counted, not leaked
+# ----------------------------------------------------------------------
+def test_abandon_counts_span_and_keeps_accounting_exact():
+    recorder = TraceRecorder()
+    ctx = recorder.start(0.0)
+    ctx.tap(Stage.LTL_TX, 0.25)
+    ctx.tap(Stage.LINK_WIRE, 0.75)
+    ctx.abandon(1.0)  # dropped 0.25 s after the last tap
+    report = recorder.report()
+    assert recorder.abandoned == 1
+    assert report.abandoned_spans == 1
+    assert report.spans == 0  # no normal completion
+    # Honest accounting still holds exactly: hop time + residual == e2e.
+    assert report.hop_sum_total == pytest.approx(0.75)
+    assert report.residual_total == pytest.approx(0.25)
+    assert report.e2e_total == pytest.approx(1.0)
+    assert report.hop_sum_total + report.residual_total == \
+        pytest.approx(report.e2e_total)
+    # The drop's hop durations are folded in, but the truncated span
+    # must not pollute the end-to-end latency quantiles.
+    assert not report.e2e
+
+
+def test_abandon_is_idempotent_and_noop_after_complete():
+    recorder = TraceRecorder()
+    ctx = recorder.start(0.0)
+    ctx.tap(Stage.LTL_TX, 0.5)
+    ctx.abandon(1.0)
+    ctx.abandon(2.0)  # double-drop: must not double-count
+    assert recorder.abandoned == 1
+    done = recorder.start(0.0)
+    done.tap(Stage.LTL_TX, 0.5)
+    recorder.complete(done, 1.0)
+    done.abandon(2.0)  # drop after delivery: too late, a no-op
+    assert recorder.abandoned == 1
+    assert recorder.completed == 1
+
+
+def test_complete_after_abandon_is_noop():
+    recorder = TraceRecorder()
+    ctx = recorder.start(0.0)
+    ctx.abandon(1.0)
+    recorder.complete(ctx, 2.0)
+    assert recorder.completed == 0
+    assert recorder.abandoned == 1
+
+
+def test_bare_context_abandon_just_closes():
+    ctx = TraceContext(t0=0.0)
+    assert not ctx.closed
+    ctx.abandon(1.0)
+    assert ctx.closed
