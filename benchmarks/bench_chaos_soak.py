@@ -89,6 +89,17 @@ def build_cloud():
 TRAFFIC_KINDS = (FaultKind.FRAME_CORRUPT, FaultKind.FRAME_DROP,
                  FaultKind.GRAY_NODE)
 
+#: The §II-B mix this soak has always run (pinned): the control-plane
+#: resilience kinds added later (RM_CRASH, NETWORK_PARTITION) have their
+#: own dedicated soak in bench_control_plane_soak.py, and excluding them
+#: here keeps this benchmark's seeded campaign — and its availability
+#: gate — byte-identical across taxonomy growth.
+SOAK_KINDS = (FaultKind.FPGA_DEATH, FaultKind.LINK_FLAP,
+              FaultKind.FRAME_CORRUPT, FaultKind.FRAME_DROP,
+              FaultKind.GRAY_NODE, FaultKind.ROLE_HANG,
+              FaultKind.TOR_OUTAGE, FaultKind.CONTROL_STALL,
+              FaultKind.LOAD_SPIKE, FaultKind.SLOW_PEER)
+
 
 def full_mix_campaign(start: float, busy_hosts):
     """Seeded §II-B-rate campaign, then guarantee >= 1 of every kind.
@@ -102,6 +113,8 @@ def full_mix_campaign(start: float, busy_hosts):
     """
     config = CampaignConfig.scaled_from_paper(PAPER_SCALE,
                                               **CAMPAIGN_SHAPES)
+    config.rates = {kind: rate for kind, rate in config.rates.items()
+                    if kind in SOAK_KINDS}
     events = generate_campaign(POOL, SOAK_SECONDS - 10.0, config, seed=3)
     rng = random.Random(99)
     present = {e.kind for e in events}
@@ -116,7 +129,7 @@ def full_mix_campaign(start: float, busy_hosts):
         events.append(FaultEvent(at=at, kind=kind, target=victim,
                                  **config.event_shape(kind)))
         at += 2.0
-    for kind in FaultKind:
+    for kind in SOAK_KINDS:
         if kind not in present:
             shape = config.event_shape(kind)
             target = -1 if kind is FaultKind.CONTROL_STALL \
@@ -226,7 +239,7 @@ def test_chaos_soak(benchmark):
         f"availability {availability:.4f} below 99%"
 
     # Every injected fault was detected and recovered end to end.
-    assert summary["injected"] >= len(FaultKind)
+    assert summary["injected"] >= len(SOAK_KINDS)
     assert summary["unresolved"] == [], summary["unresolved"]
     assert summary["detected"] == summary["injected"]
     assert summary["recovered"] == summary["injected"]

@@ -72,6 +72,16 @@ class HardwareService:
         if client.host_index not in self._clients:
             raise RuntimeError("attach_client() before request()")
         host = self.sm.pick()
+        lease = self.sm.lease_of(host)
+        if lease is not None:
+            manager = self.cloud.resource_manager.manager(host)
+            if not manager.admit_traffic(lease.fence):
+                # Our lease on this host was superseded (we may be the
+                # stale side of a split brain): drop the member rather
+                # than send traffic into someone else's allocation.
+                raise RuntimeError(
+                    f"service {self.name!r} lease on host {host} is "
+                    f"fenced off (stale fence {lease.fence})")
         self.cloud.connect(client.host_index, host)  # idempotent
         client.shell.remote_send(host, payload, length_bytes,
                                  dst_role=role)

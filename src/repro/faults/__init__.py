@@ -8,12 +8,13 @@ FPGA Manager health monitoring, RM quarantine + lease expiry, SM
 replacement retry).
 """
 
-from .campaign import (CampaignConfig, FaultEvent, FaultKind,
-                       SECONDS_PER_DAY, TRANSIENT_KINDS,
+from .campaign import (CONTROL_PLANE_KINDS, CampaignConfig, FaultEvent,
+                       FaultKind, SECONDS_PER_DAY, TRANSIENT_KINDS,
                        generate_campaign)
 from .injector import FaultInjector, InjectionRecord, InjectorStats
 
 __all__ = [
+    "CONTROL_PLANE_KINDS",
     "CampaignConfig",
     "FaultEvent",
     "FaultInjector",

@@ -44,13 +44,29 @@ class FaultKind(enum.Enum):
     #: Limplock: the target serves/forwards ``magnitude`` x slower for
     #: ``duration`` without failing health checks.
     SLOW_PEER = "slow_peer"
+    #: The Resource Manager process dies; restarted (journal replay +
+    #: epoch bump) after ``duration``.  (New members append at the end:
+    #: campaign draws are per-kind in enum order, so earlier kinds'
+    #: schedules are byte-stable across taxonomy growth.)
+    RM_CRASH = "rm_crash"
+    #: One Service Manager loses all control-plane connectivity for
+    #: ``duration`` — renews, acquires and revocation pushes are all
+    #: dropped (the split-brain scenario lease fencing defends against).
+    NETWORK_PARTITION = "network_partition"
 
 
 #: Kinds whose effect ends on its own after ``duration``.
 TRANSIENT_KINDS = frozenset({
     FaultKind.LINK_FLAP, FaultKind.FRAME_CORRUPT, FaultKind.FRAME_DROP,
     FaultKind.GRAY_NODE, FaultKind.TOR_OUTAGE, FaultKind.CONTROL_STALL,
-    FaultKind.LOAD_SPIKE, FaultKind.SLOW_PEER,
+    FaultKind.LOAD_SPIKE, FaultKind.SLOW_PEER, FaultKind.RM_CRASH,
+    FaultKind.NETWORK_PARTITION,
+})
+
+#: Kinds aimed at the control plane rather than a host (target -1).
+CONTROL_PLANE_KINDS = frozenset({
+    FaultKind.CONTROL_STALL, FaultKind.RM_CRASH,
+    FaultKind.NETWORK_PARTITION,
 })
 
 
@@ -93,6 +109,8 @@ class CampaignConfig:
     load_spike_multiplier: float = 5.0
     slow_peer_duration: float = 2.0
     slow_peer_factor: float = 8.0
+    rm_crash_duration: float = 3.0
+    partition_duration: float = 8.0
 
     @classmethod
     def scaled_from_paper(cls, scale: float,
@@ -127,6 +145,11 @@ class CampaignConfig:
             # peers show up about as often as other gray cable faults.
             FaultKind.LOAD_SPIKE: cable / 10.0,
             FaultKind.SLOW_PEER: cable,
+            # Control-plane process death is the rarest event in the
+            # taxonomy; partitions stranding a single SM arrive at the
+            # rack-event scale.
+            FaultKind.RM_CRASH: cable / 20.0,
+            FaultKind.NETWORK_PARTITION: cable / 10.0,
         })
         for name, value in shape_overrides.items():
             setattr(config, name, value)
@@ -157,6 +180,10 @@ class CampaignConfig:
             FaultKind.SLOW_PEER: dict(
                 duration=self.slow_peer_duration,
                 magnitude=self.slow_peer_factor),
+            FaultKind.RM_CRASH: dict(
+                duration=self.rm_crash_duration, magnitude=0.0),
+            FaultKind.NETWORK_PARTITION: dict(
+                duration=self.partition_duration, magnitude=0.0),
         }[kind]
 
 
@@ -180,7 +207,7 @@ def generate_campaign(hosts: Sequence[int], horizon: float,
         t = rng.expovariate(rate)
         while t < horizon:
             shape = config.event_shape(kind)
-            target = -1 if kind is FaultKind.CONTROL_STALL \
+            target = -1 if kind in CONTROL_PLANE_KINDS \
                 else rng.choice(list(hosts))
             events.append(FaultEvent(at=t, kind=kind, target=target,
                                      **shape))

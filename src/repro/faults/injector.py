@@ -34,6 +34,14 @@ LOAD_SPIKE       immediately (the spike is applied through   spike expires
 SLOW_PEER        tap removal (frames observably slowed; the  masked online by
                  victim never fails a health check — that    delivery; ends
                  is the point of a limplock)                 with ``duration``
+RM_CRASH         immediately (process death is visible to    restarted RM
+                 its supervisor)                             answers its first
+                                                             acquire (journal
+                                                             replay done)
+NETWORK_PARTITION lease expirations / failed renews at the   stranded SM back
+                 stranded SM                                 to full strength
+                                                             (no pending
+                                                             replacements)
 ===============  ==========================================  =============
 """
 
@@ -45,7 +53,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..core.cloud import ConfigurableCloud
 from ..fpga.seu import SeuScrubber
+from ..haas.constraints import Constraints
 from ..haas.fpga_manager import FpgaHealth, FpgaManager
+from ..haas.resource_manager import AllocationError
+from ..haas.rpc import ServerUnavailable
 from ..haas.service_manager import ServiceManager
 from ..ltl.frames import LtlFrame
 from .campaign import FaultEvent, FaultKind
@@ -139,6 +150,8 @@ class FaultInjector:
         #: Hosts permanently killed by FPGA_DEATH (never reattached).
         self._killed: Set[int] = set()
         self._watching = False
+        #: Round-robin cursor over SMs for NETWORK_PARTITION victims.
+        self._partition_rr = 0
 
     # ------------------------------------------------------------------
     # Campaign driving
@@ -211,6 +224,10 @@ class FaultInjector:
             yield from self._do_load_spike(event, record)
         elif kind is FaultKind.SLOW_PEER:
             yield from self._do_slow_peer(event, record)
+        elif kind is FaultKind.RM_CRASH:
+            yield from self._do_rm_crash(event, record)
+        elif kind is FaultKind.NETWORK_PARTITION:
+            yield from self._do_network_partition(event, record)
         else:  # pragma: no cover - exhaustive over FaultKind
             raise ValueError(f"unknown fault kind {kind}")
 
@@ -468,6 +485,84 @@ class FaultInjector:
         else:
             record.note = (f"host {host}: {slowed} frames served "
                            f"{factor:.0f}x slow for {event.duration:.3f}s")
+
+    def _do_rm_crash(self, event: FaultEvent, record: InjectionRecord):
+        """Kill the RM process; restart it after ``duration``.
+
+        Recovery is stamped at the restarted RM's *first successful
+        acquire* (an :class:`AllocationError` counts — the RM answered,
+        the pool just happened to be full), i.e. crash -> journal replay
+        -> serving again.
+        """
+        rm = self.cloud.resource_manager
+        if rm.crashed:
+            record.detected_at = record.recovered_at = self.env.now
+            record.note = "RM already down; crash elided"
+            yield self.env.timeout(0)
+            return
+        held = rm.allocated_count
+        rm.crash()
+        record.detected_at = self.env.now
+        record.note = (f"RM down {event.duration:.1f}s "
+                       f"({held} hosts were leased)")
+        yield self.env.timeout(event.duration)
+        restarted_at = self.env.now
+        recovered = rm.restart()
+        probe_step = max(min(rm._sweep_period / 10.0, 0.1), 1e-3)
+        deadline = self.env.now + 120.0
+        while self.env.now < deadline:
+            try:
+                lease = rm.acquire("__rm-probe__", Constraints(count=1))
+            except AllocationError:
+                break  # RM is serving; the pool is just exhausted
+            except ServerUnavailable:
+                yield self.env.timeout(probe_step)
+                continue
+            rm.release(lease)
+            break
+        record.recovered_at = self.env.now
+        record.note += (f"; replayed {len(rm.journal)} records, "
+                        f"recovered {recovered} leases, serving again "
+                        f"+{self.env.now - restarted_at:.3f}s after "
+                        "restart")
+
+    def _do_network_partition(self, event: FaultEvent,
+                              record: InjectionRecord):
+        """Strand one SM: its channel drops everything both ways for
+        ``duration`` — no renews out, no revocation pushes in."""
+        if not self.service_managers:
+            record.detected_at = record.recovered_at = self.env.now
+            record.note = "no service managers; partition elided"
+            yield self.env.timeout(0)
+            return
+        sm = self.service_managers[
+            self._partition_rr % len(self.service_managers)]
+        self._partition_rr += 1
+        rm = self.cloud.resource_manager
+        before_exp = rm.stats.expirations
+        before_fail = sm.stats.renew_failures
+        sm.channel.partition_for(event.duration)
+        record.note = f"SM {sm.name!r} partitioned {event.duration:.1f}s"
+        yield self.env.timeout(event.duration)
+        # Wait out one sweep so any expiry is actually observed.
+        yield self.env.timeout(rm._sweep_period)
+        manifested = (rm.stats.expirations > before_exp
+                      or sm.stats.renew_failures > before_fail)
+        if not manifested:
+            record.detected_at = record.recovered_at = self.env.now
+            record.note += "; leases outlived the partition"
+            return
+        record.detected_at = self.env.now
+        record.note += (f"; {rm.stats.expirations - before_exp} leases "
+                        f"expired, {sm.stats.renew_failures - before_fail}"
+                        " renews lost")
+        # Recovered once the stranded SM is back to full strength.
+        deadline = self.env.now + 120.0
+        while self.env.now < deadline:
+            if sm.pending_replacements == 0:
+                record.recovered_at = self.env.now
+                break
+            yield self.env.timeout(0.5)
 
     def _fleet_retransmissions(self) -> int:
         # Sum over every server (not just the campaign hosts): dropping

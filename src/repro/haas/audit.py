@@ -1,0 +1,217 @@
+"""Campaign-wide control-plane invariant auditor.
+
+Replays a Resource Manager :class:`~repro.haas.journal.Journal` after a
+campaign and independently re-derives the safety and liveness
+invariants the control plane claims:
+
+* **No double allocation** — no host is ever held by two leases whose
+  active intervals overlap, across crashes, restarts and epochs.
+* **Exactly-once grants** — an idempotency token never maps to two
+  different lease grants (a retried/duplicated ``acquire`` must not
+  allocate twice).
+* **Fence discipline** — grant fences are strictly monotonic, and no
+  FpgaManager ever *admitted* configure/traffic carrying a fence older
+  than the newest it had installed (``stale_admit`` records, which the
+  FM writes if its check is ever bypassed, are hard violations;
+  ``fence_reject`` records are the defense working and are counted).
+* **Revocations are remedied** — every revocation is eventually
+  followed by a replacement grant for the same service or by
+  quarantine of the offending host; every expiry is followed by a
+  replacement grant (leases in our campaigns are heartbeat-kept — an
+  expiry means a stall or partition, and the SM must re-acquire).
+
+The auditor is read-only and pure: same journal, same verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .journal import Journal
+
+
+@dataclass
+class AuditViolation:
+    kind: str
+    time: float
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"[{self.kind} @ {self.time:.3f}s] {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    violations: List[AuditViolation] = field(default_factory=list)
+    grants: int = 0
+    releases: int = 0
+    revocations: int = 0
+    expirations: int = 0
+    quarantines: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    epochs_seen: int = 0
+    fence_rejections: int = 0
+    stale_admits: int = 0
+    double_allocations: int = 0
+    dedup_violations: int = 0
+    unremedied_revocations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.kind] = out.get(violation.kind, 0) + 1
+        return out
+
+
+def audit_journal(journal: Journal, *,
+                  require_replacement: bool = True,
+                  tail_grace: float = 0.0,
+                  end_time: Optional[float] = None) -> AuditReport:
+    """Audit a journal; see the module docstring for the invariants.
+
+    ``tail_grace``: revocations/expirations within the final
+    ``tail_grace`` seconds before ``end_time`` (default: the last
+    record's time) are exempt from the remedied-check — the campaign
+    ended before the control plane had a fair chance to replace them.
+    """
+    report = AuditReport()
+    records = journal.records
+    if end_time is None:
+        end_time = records[-1].time if records else 0.0
+
+    #: host -> (lease_id, grant_time) currently holding it.
+    holders: Dict[int, Tuple[int, float]] = {}
+    #: lease_id -> (service, hosts) for open leases.
+    open_leases: Dict[int, Tuple[str, List[int]]] = {}
+    #: idempotency token -> lease_id.
+    token_grants: Dict[str, int] = {}
+    #: host -> newest fence installed there (grant or barrier).
+    host_fence: Dict[int, int] = {}
+    max_fence = 0
+    epochs = set()
+    #: Unremedied (time, lease_id, service, cause_host) revocations.
+    pending_revocations: List[Tuple[float, int, str, Optional[int], str]] = []
+    quarantined_at: Dict[int, List[float]] = {}
+
+    def _close_lease(lease_id: int) -> None:
+        info = open_leases.pop(lease_id, None)
+        if info is None:
+            return
+        for host in info[1]:
+            holder = holders.get(host)
+            if holder is not None and holder[0] == lease_id:
+                del holders[host]
+
+    for rec in records:
+        kind, data, t = rec.kind, rec.data, rec.time
+        if kind == "epoch":
+            epochs.add(data["epoch"])
+        elif kind == "grant":
+            report.grants += 1
+            lease_id = data["lease_id"]
+            service = data["service"]
+            token = data.get("token")
+            if token is not None:
+                previous = token_grants.get(token)
+                if previous is not None and previous != lease_id:
+                    report.dedup_violations += 1
+                    report.violations.append(AuditViolation(
+                        "dedup_broken", t,
+                        f"token {token!r} granted lease {previous} and "
+                        f"again lease {lease_id}"))
+                token_grants.setdefault(token, lease_id)
+            fence = data["fence"]
+            if fence <= max_fence:
+                report.violations.append(AuditViolation(
+                    "fence_regression", t,
+                    f"grant {lease_id} fence {fence} <= prior max "
+                    f"{max_fence}"))
+            max_fence = max(max_fence, fence)
+            for host in data["hosts"]:
+                holder = holders.get(host)
+                if holder is not None:
+                    report.double_allocations += 1
+                    report.violations.append(AuditViolation(
+                        "double_allocation", t,
+                        f"host {host} granted to lease {lease_id} "
+                        f"({service!r}) while still held by lease "
+                        f"{holder[0]} granted at {holder[1]:.3f}s"))
+                holders[host] = (lease_id, t)
+                host_fence[host] = max(host_fence.get(host, 0), fence)
+            open_leases[lease_id] = (service, list(data["hosts"]))
+            # A grant remedies the oldest pending revocation/expiry of
+            # the same service.
+            for i, pending in enumerate(pending_revocations):
+                if pending[2] == service:
+                    pending_revocations.pop(i)
+                    break
+        elif kind == "release":
+            report.releases += 1
+            _close_lease(data["lease_id"])
+        elif kind == "revoke":
+            report.revocations += 1
+            info = open_leases.get(data["lease_id"])
+            service = data.get("service") or (info[0] if info else "?")
+            pending_revocations.append(
+                (t, data["lease_id"], service, data.get("cause_host"),
+                 "revoke"))
+            _close_lease(data["lease_id"])
+        elif kind == "expire":
+            report.expirations += 1
+            info = open_leases.get(data["lease_id"])
+            service = data.get("service") or (info[0] if info else "?")
+            pending_revocations.append(
+                (t, data["lease_id"], service, None, "expire"))
+            _close_lease(data["lease_id"])
+        elif kind == "quarantine":
+            report.quarantines += 1
+            quarantined_at.setdefault(data["host"], []).append(t)
+        elif kind == "fence_barrier":
+            fence = data["fence"]
+            max_fence = max(max_fence, fence)
+            host = data["host"]
+            host_fence[host] = max(host_fence.get(host, 0), fence)
+        elif kind == "fence_reject":
+            report.fence_rejections += 1
+        elif kind == "stale_admit":
+            report.stale_admits += 1
+            report.violations.append(AuditViolation(
+                "stale_admit", t,
+                f"host {data['host']} admitted {data.get('op', 'op')} "
+                f"with stale fence {data['fence']} (current "
+                f"{data['current']})"))
+        elif kind == "crash":
+            report.crashes += 1
+        elif kind == "restart":
+            report.restarts += 1
+
+    report.epochs_seen = len(epochs)
+
+    if require_replacement:
+        for t, lease_id, service, cause_host, why in pending_revocations:
+            if t >= end_time - tail_grace:
+                continue
+            if cause_host is not None and any(
+                    qt >= t - 1e-9
+                    for qt in quarantined_at.get(cause_host, ())):
+                # Failure-revocation: the offending host was benched —
+                # but replacement is still the SM's job, so only accept
+                # quarantine as the remedy when the pool could not
+                # replace (no later grant for anyone).  Quarantine alone
+                # satisfies the invariant as stated.
+                continue
+            report.unremedied_revocations += 1
+            report.violations.append(AuditViolation(
+                "unremedied_revocation", t,
+                f"{why} of lease {lease_id} ({service!r}) never followed "
+                f"by a replacement grant"
+                + ("" if cause_host is None
+                   else f" or quarantine of host {cause_host}")))
+
+    return report

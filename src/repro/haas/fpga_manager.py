@@ -59,6 +59,15 @@ class FpgaManager:
         self.allocated_to: Optional[str] = None
         self.configurations = 0
         self.recoveries = 0
+        #: Newest fencing token installed for this host (by lease grants
+        #: and by the RM's fence barriers at evict/release/expire time).
+        #: Operations carrying an older fence are rejected: that caller
+        #: is acting on a lease the RM has since superseded.
+        self.fence = 0
+        self.fence_rejections = 0
+        #: RM journal, attached at registration, so fence rejections are
+        #: auditable evidence in the campaign record.
+        self.journal = None
         #: RM's failure callback, installed at registration.
         self.on_failure: Optional[Callable[[int], None]] = None
         #: Observer hook: (manager, old_health, new_health, reason).
@@ -86,9 +95,34 @@ class FpgaManager:
             link_up=self.shell.bridge.link_up,
             allocated_to=self.allocated_to)
 
-    def configure(self, image: Image):
+    def install_fence(self, fence: int) -> None:
+        """Raise this host's fence floor (monotonic)."""
+        self.fence = max(self.fence, fence)
+
+    def _check_fence(self, fence: Optional[int], op: str) -> bool:
+        if fence is None or fence >= self.fence:
+            return True
+        self.fence_rejections += 1
+        if self.journal is not None:
+            self.journal.record("fence_reject", host=self.host,
+                                op=op, fence=fence, current=self.fence)
+        return False
+
+    def admit_traffic(self, fence: Optional[int] = None) -> bool:
+        """Data-plane admission: False iff the caller's fence is stale
+        (its lease was superseded — likely a split-brain survivor)."""
+        return self._check_fence(fence, "traffic")
+
+    def configure(self, image: Image, fence: Optional[int] = None):
         """Process: deploy a role image (partial reconfiguration, so the
-        bridge keeps passing packets during the swap)."""
+        bridge keeps passing packets during the swap).
+
+        A stale ``fence`` makes this a recorded no-op rather than an
+        exception: the caller is on the wrong side of a partition and
+        must not overwrite whatever the host's new owner deployed.
+        """
+        if not self._check_fence(fence, "configure"):
+            return
         yield from self.shell.configuration.partial_reconfigure(image)
         self.configurations += 1
 

@@ -5,18 +5,27 @@ allocated resources.  SMs manage service-level tasks such as load
 balancing, inter-component connectivity, and failure handling by
 requesting and releasing Component leases through RM.  A SM provides
 pointers to the hardware service to one or more end users."
+
+All SM<->RM traffic rides an :class:`~repro.haas.rpc.RpcChannel`.  With
+the default lossless config the channel is a synchronous pass-through
+(identical scheduling to the direct calls it replaced); under a lossy or
+partitioned config the SM holds *copies* of its leases, learns about
+revocations via best-effort pushes, discovers RM restarts through the
+epoch carried on every response (then re-attaches), and treats a renew
+rejected with ``KeyError`` as a lost component to replace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..fpga.reconfig import Image
 from ..sim import Environment
 from .constraints import Constraints
 from .leases import Lease, LeaseState
 from .resource_manager import AllocationError, ResourceManager
+from .rpc import RpcChannel, RpcConfig, RpcError
 
 
 @dataclass
@@ -25,6 +34,9 @@ class SmStats:
     components_lost: int = 0
     replacements: int = 0
     requests_dispatched: int = 0
+    renew_failures: int = 0       # transport-level (timeout/partition)
+    leases_lost_on_renew: int = 0  # RM said KeyError: lease is gone
+    rm_epoch_changes: int = 0
 
 
 class ServiceManager:
@@ -33,7 +45,9 @@ class ServiceManager:
     def __init__(self, env: Environment, name: str, rm: ResourceManager,
                  image: Image, constraints: Optional[Constraints] = None,
                  retry_backoff: float = 0.5,
-                 retry_backoff_max: float = 60.0):
+                 retry_backoff_max: float = 60.0,
+                 rpc_config: Optional[RpcConfig] = None,
+                 rpc_seed: Optional[object] = None):
         self.env = env
         self.name = name
         self.rm = rm
@@ -52,32 +66,80 @@ class ServiceManager:
         #: Called with the replacement lease after a lost component is
         #: re-acquired — services hook this to rewire connectivity.
         self.on_component_replaced: Optional[Callable[[Lease], None]] = None
+        #: Called with each lease adopted by an *asynchronous* grow
+        #: (lossy channel), where ``grow()`` could not return it.
+        self.on_component_acquired: Optional[Callable[[Lease], None]] = None
         #: Heartbeats are skipped until this time (control-plane stalls).
         self.heartbeat_suspended_until = 0.0
+        self.channel = RpcChannel(env, rm.rpc_dispatch,
+                                  name=f"sm-{name}", config=rpc_config,
+                                  seed=rpc_seed)
+        self.channel.epoch_probe = lambda: rm.epoch
+        self.channel.on_epoch_change = self._on_rm_epoch_change
+
+    def _acquire_payload(self) -> Dict[str, Any]:
+        return {"service": self.name, "constraints": self.constraints,
+                "on_revoked": self._on_lease_revoked}
 
     # ------------------------------------------------------------------
     # Capacity management
     # ------------------------------------------------------------------
     def grow(self, components: int = 1) -> List[Lease]:
-        """Acquire more components and deploy the service image on them."""
+        """Acquire more components and deploy the service image on them.
+
+        Over a lossless channel this is synchronous: the leases are
+        returned and :class:`AllocationError` propagates.  Over a lossy
+        channel acquisition is asynchronous — the returned list is empty
+        and adopted leases arrive via ``on_component_acquired``; a grow
+        the RM cannot satisfy becomes a pending replacement the backoff
+        loop keeps retrying.
+        """
         acquired = []
         for _ in range(components):
-            lease = self.rm.acquire(self.name, self.constraints,
-                                    on_revoked=self._on_revoked)
-            self.leases.append(lease)
-            acquired.append(lease)
-            self.stats.components_acquired += 1
-            for host in lease.hosts:
-                self.env.process(
-                    self.rm.manager(host).configure(self.image),
-                    name=f"sm-{self.name}-configure-{host}")
+            if self.channel.inline:
+                lease = self.channel.call("acquire",
+                                          self._acquire_payload())
+                self._adopt_lease(lease)
+                acquired.append(lease)
+            else:
+                self.channel.call(
+                    "acquire", self._acquire_payload(),
+                    on_result=self._adopt_async_lease,
+                    on_error=self._acquire_failed)
         return acquired
 
     def shrink(self, components: int = 1) -> None:
         """Release components back to the global pool."""
         for _ in range(min(components, len(self.leases))):
             lease = self.leases.pop()
-            self.rm.release(lease)
+            self.channel.notify("release", {"lease_id": lease.lease_id})
+            # Our copy is dead to us even if the notify leg is lost (the
+            # RM-side lease then just expires unrenewed).
+            lease.state = LeaseState.RELEASED
+
+    def _adopt_lease(self, lease: Lease, replacement: bool = False) -> None:
+        self.leases.append(lease)
+        verb = "reconfigure" if replacement else "configure"
+        if replacement:
+            self.stats.replacements += 1
+        else:
+            self.stats.components_acquired += 1
+        for host in lease.hosts:
+            self.env.process(
+                self.rm.manager(host).configure(self.image,
+                                                fence=lease.fence),
+                name=f"sm-{self.name}-{verb}-{host}")
+        if replacement and self.on_component_replaced is not None:
+            self.on_component_replaced(lease)
+
+    def _adopt_async_lease(self, lease: Lease) -> None:
+        self._adopt_lease(lease)
+        if self.on_component_acquired is not None:
+            self.on_component_acquired(lease)
+
+    def _acquire_failed(self, _exc: Exception) -> None:
+        self.pending_replacements += 1
+        self._ensure_retry_loop()
 
     @property
     def hosts(self) -> List[int]:
@@ -87,6 +149,12 @@ class ServiceManager:
             if lease.is_active(self.env.now):
                 out.extend(lease.hosts)
         return out
+
+    def lease_of(self, host: int) -> Optional[Lease]:
+        for lease in self.leases:
+            if host in lease.hosts:
+                return lease
+        return None
 
     # ------------------------------------------------------------------
     # End-user facing
@@ -104,6 +172,18 @@ class ServiceManager:
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
+    def _on_lease_revoked(self, lease_id: int,
+                          survivors: List[int]) -> None:
+        """Revocation push from the RM (delivered over the channel, so
+        it may arrive late, duplicated, or — behind a partition — never;
+        renew failures and epoch re-attach are the backstops)."""
+        lease = next((l for l in self.leases
+                      if l.lease_id == lease_id), None)
+        if lease is None:
+            return
+        lease.state = LeaseState.REVOKED
+        self._on_revoked(lease, survivors)
+
     def _on_revoked(self, lease: Lease, _survivors: List[int]) -> None:
         """RM revoked a component (failure/expiry): replace it."""
         if lease in self.leases:
@@ -114,19 +194,21 @@ class ServiceManager:
             self._ensure_retry_loop()
 
     def _try_replace(self) -> bool:
+        if not self.channel.inline:
+            # Asynchronous: claim success now; a failed outcome re-pends
+            # itself, so nothing is lost — only retried later.
+            self.channel.call(
+                "acquire", self._acquire_payload(),
+                on_result=lambda lease: self._adopt_lease(
+                    lease, replacement=True),
+                on_error=self._acquire_failed)
+            return True
         try:
-            replacement = self.rm.acquire(
-                self.name, self.constraints, on_revoked=self._on_revoked)
-        except AllocationError:
+            replacement = self.channel.call("acquire",
+                                            self._acquire_payload())
+        except (AllocationError, RpcError):
             return False
-        self.leases.append(replacement)
-        self.stats.replacements += 1
-        for host in replacement.hosts:
-            self.env.process(
-                self.rm.manager(host).configure(self.image),
-                name=f"sm-{self.name}-reconfigure-{host}")
-        if self.on_component_replaced is not None:
-            self.on_component_replaced(replacement)
+        self._adopt_lease(replacement, replacement=True)
         return True
 
     def _ensure_retry_loop(self) -> None:
@@ -150,19 +232,41 @@ class ServiceManager:
         finally:
             self._retry_loop_active = False
 
+    # ------------------------------------------------------------------
+    # Heartbeat / lease maintenance
+    # ------------------------------------------------------------------
     def renew_all(self) -> None:
         """Heartbeat: keep all ACTIVE component leases alive.
 
-        Leases the RM already revoked or expired are skipped — renewing
-        them would raise and kill the heartbeat process.
+        Leases the SM already knows are dead are skipped.  A renew the
+        RM rejects with ``KeyError`` (revoked/expired behind our back —
+        e.g. while we were partitioned) means the component is *gone*:
+        drop it and seek a replacement.  Transport failures are counted
+        and left alone — the lease either survives to the next beat or
+        the KeyError path catches it after the partition heals.
         """
         for lease in list(self.leases):
             if lease.state is not LeaseState.ACTIVE:
                 continue
-            try:
-                self.rm.renew(lease)
-            except KeyError:
-                continue  # revoked between the state check and the renew
+            self.channel.call(
+                "renew", {"lease_id": lease.lease_id},
+                on_result=lambda at, l=lease: self._renewed(l, at),
+                on_error=lambda exc, l=lease: self._renew_failed(l, exc))
+
+    def _renewed(self, lease: Lease, granted_at: float) -> None:
+        if lease.state is LeaseState.ACTIVE:
+            lease.granted_at = granted_at
+
+    def _renew_failed(self, lease: Lease, exc: Exception) -> None:
+        if isinstance(exc, KeyError):
+            # The RM no longer honors this lease.  If a revocation push
+            # got here first the lease is already gone from our table.
+            if lease in self.leases:
+                lease.state = LeaseState.EXPIRED
+                self.stats.leases_lost_on_renew += 1
+                self._on_revoked(lease, [])
+            return
+        self.stats.renew_failures += 1
 
     def suspend_heartbeat(self, duration: float) -> None:
         """Stall the control plane: skip heartbeats for ``duration``."""
@@ -184,3 +288,31 @@ class ServiceManager:
                 self.renew_all()
 
         self.env.process(beat(self.env), name=f"sm-{self.name}-heartbeat")
+
+    # ------------------------------------------------------------------
+    # RM restart handling
+    # ------------------------------------------------------------------
+    def _on_rm_epoch_change(self, _epoch: int) -> None:
+        """The RM restarted (every response carries its epoch): its
+        revocation handlers died with the old process, so re-attach our
+        surviving leases and replace the ones recovery dropped."""
+        self.stats.rm_epoch_changes += 1
+        lease_ids = [lease.lease_id for lease in self.leases
+                     if lease.state is LeaseState.ACTIVE]
+        self.channel.call(
+            "reattach",
+            {"lease_ids": lease_ids,
+             "on_revoked": self._on_lease_revoked},
+            on_result=self._apply_reattach,
+            on_error=lambda _exc: None)
+
+    def _apply_reattach(self, result: Dict[str, Any]) -> None:
+        kept = result["kept"]
+        for lease in list(self.leases):
+            if lease.state is not LeaseState.ACTIVE:
+                continue
+            if lease.lease_id in kept:
+                lease.granted_at = kept[lease.lease_id]
+            else:
+                lease.state = LeaseState.REVOKED
+                self._on_revoked(lease, [])

@@ -1,0 +1,155 @@
+"""Injector tests for the control-plane fault kinds: RM_CRASH and
+NETWORK_PARTITION (added with the crash-recoverable control plane)."""
+
+from repro.core import ConfigurableCloud
+from repro.faults import (CONTROL_PLANE_KINDS, CampaignConfig, FaultEvent,
+                          FaultInjector, FaultKind, generate_campaign)
+from repro.fpga import Image, ShellConfig
+from repro.haas import (ResourceManager, RpcConfig, ServiceManager,
+                        audit_journal)
+from repro.net import TopologyConfig, idle
+
+IMAGE = Image(name="svc", role_name="svc-role")
+POOL = list(range(6))
+
+#: Lossless but *simulated* seam: the SMs hold copies of their grants
+#: and talk over a channel a partition can actually cut.
+SIM_RPC = RpcConfig(delay=1e-3, call_timeout=0.25, max_retries=6,
+                    backoff_base=0.05, backoff_max=0.4)
+
+
+def build(lease=6.0, sweep=0.5, quarantine=2.0, services=1,
+          components=2):
+    cloud = ConfigurableCloud(
+        topology=TopologyConfig(background=idle()), seed=7)
+    cloud._rm = ResourceManager(cloud.env, cloud.fabric.topology,
+                                lease_duration=lease, sweep_period=sweep,
+                                quarantine_seconds=quarantine)
+    for host in POOL:
+        cloud.add_server(host, shell_config=ShellConfig(with_ltl=False))
+    sms = []
+    for i in range(services):
+        sm = ServiceManager(cloud.env, f"svc-{i}", cloud.resource_manager,
+                            IMAGE, retry_backoff=0.25,
+                            retry_backoff_max=2.0,
+                            rpc_config=SIM_RPC, rpc_seed=50 + i)
+        sm.grow(components)
+        sm.start_heartbeat(1.0)
+        sms.append(sm)
+    cloud.env.run(until=2.0)
+    return cloud, sms
+
+
+class TestRmCrash:
+    def test_crash_recovered_by_journal_replay(self):
+        cloud, (sm,) = build()
+        env, rm = cloud.env, cloud.resource_manager
+        injector = FaultInjector(cloud, hosts=POOL,
+                                 service_managers=[sm], seed=1)
+        injector.run_campaign([FaultEvent(
+            at=env.now + 0.5, kind=FaultKind.RM_CRASH, duration=2.0)])
+        env.run(until=env.now + 20.0)
+
+        rec = injector.records[0]
+        assert rec.detected_at is not None
+        assert rec.recovered_at is not None
+        assert rm.stats.crashes == 1
+        assert rm.stats.restarts == 1
+        assert rm.stats.recovered_leases == 2
+        assert rm.epoch == 2
+        # The service rode through: leases replayed, not re-granted.
+        assert len(sm.hosts) == 2
+        # Recovery fits inside one sweep period (the acceptance gate).
+        assert rec.recovered_at - (rec.injected_at + 2.0) \
+            <= rm._sweep_period
+        kinds = [r.kind for r in rm.journal.records]
+        assert "crash" in kinds and "restart" in kinds
+        assert audit_journal(rm.journal, tail_grace=5.0,
+                             end_time=env.now).ok
+
+    def test_overlapping_crash_elided(self):
+        cloud, (sm,) = build()
+        env = cloud.env
+        injector = FaultInjector(cloud, hosts=POOL,
+                                 service_managers=[sm], seed=1)
+        injector.run_campaign([
+            FaultEvent(at=env.now + 0.5, kind=FaultKind.RM_CRASH,
+                       duration=3.0),
+            FaultEvent(at=env.now + 1.0, kind=FaultKind.RM_CRASH,
+                       duration=3.0),
+        ])
+        env.run(until=env.now + 20.0)
+        notes = [r.note for r in injector.records]
+        assert any("elided" in note for note in notes)
+        assert cloud.resource_manager.stats.crashes == 1
+
+
+class TestNetworkPartition:
+    def test_stranded_sm_expires_then_recovers(self):
+        cloud, (sm,) = build(lease=4.0)
+        env, rm = cloud.env, cloud.resource_manager
+        injector = FaultInjector(cloud, hosts=POOL,
+                                 service_managers=[sm], seed=1)
+        injector.run_campaign([FaultEvent(
+            at=env.now + 0.5, kind=FaultKind.NETWORK_PARTITION,
+            duration=8.0)])
+        env.run(until=env.now + 40.0)
+
+        rec = injector.records[0]
+        assert rec.detected_at is not None
+        assert rec.recovered_at is not None
+        # The partition outlived the lease: the RM really expired it...
+        assert rm.stats.expirations >= 1
+        # ...the stranded side saw its renews fail in transit...
+        assert sm.stats.renew_failures > 0
+        # ...and after the heal the SM re-acquired to full strength.
+        assert len(sm.hosts) == 2
+        assert sm.pending_replacements == 0
+        assert sm.channel.stats.partition_drops > 0
+        assert not sm.channel.partitioned
+
+    def test_partitions_round_robin_across_sms(self):
+        cloud, sms = build(services=2, components=1)
+        env = cloud.env
+        injector = FaultInjector(cloud, hosts=POOL,
+                                 service_managers=sms, seed=1)
+        injector.run_campaign([
+            FaultEvent(at=env.now + 0.5,
+                       kind=FaultKind.NETWORK_PARTITION, duration=1.0),
+            FaultEvent(at=env.now + 4.0,
+                       kind=FaultKind.NETWORK_PARTITION, duration=1.0),
+        ])
+        env.run(until=env.now + 12.0)
+        # Each SM was stranded once, not one SM twice.
+        for sm in sms:
+            assert sm.channel.stats.partition_drops > 0
+
+
+class TestCampaignStability:
+    def test_control_plane_kinds_target_no_host(self):
+        # High scale / long horizon so even the rarest kind (RM_CRASH,
+        # at half the rack-event rate) draws at least one arrival.
+        config = CampaignConfig.scaled_from_paper(5e9)
+        events = generate_campaign(POOL, 60.0, config, seed=9)
+        kinds = {event.kind for event in events}
+        assert FaultKind.RM_CRASH in kinds
+        assert FaultKind.NETWORK_PARTITION in kinds
+        for event in events:
+            if event.kind in CONTROL_PLANE_KINDS:
+                assert event.target == -1
+
+    def test_new_kinds_do_not_perturb_existing_schedules(self):
+        """Per-kind sequential draws in enum order: adding RM_CRASH /
+        NETWORK_PARTITION (appended last) must leave every earlier
+        kind's seeded schedule byte-identical."""
+        full = CampaignConfig.scaled_from_paper(5e7)
+        pruned = CampaignConfig.scaled_from_paper(5e7)
+        pruned.rates = {kind: rate for kind, rate in pruned.rates.items()
+                        if kind not in (FaultKind.RM_CRASH,
+                                        FaultKind.NETWORK_PARTITION)}
+        with_new = generate_campaign(POOL, 30.0, full, seed=9)
+        without = generate_campaign(POOL, 30.0, pruned, seed=9)
+        old = [(e.at, e.kind, e.target) for e in with_new
+               if e.kind not in (FaultKind.RM_CRASH,
+                                 FaultKind.NETWORK_PARTITION)]
+        assert old == [(e.at, e.kind, e.target) for e in without]

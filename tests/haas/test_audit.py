@@ -1,0 +1,150 @@
+"""Unit tests for the campaign journal auditor."""
+
+from repro.haas import Journal, audit_journal
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_journal():
+    clock = Clock()
+    return clock, Journal(name="audit-test", clock=clock)
+
+
+def grant(journal, lease_id, hosts, fence, service="svc", token=None):
+    journal.record("grant", lease_id=lease_id, service=service,
+                   hosts=hosts, granted_at=journal._clock(),
+                   duration=10.0, epoch=1, fence=fence,
+                   constraints=None, token=token)
+
+
+class TestCleanJournals:
+    def test_empty_journal_is_ok(self):
+        _, journal = make_journal()
+        report = audit_journal(journal)
+        assert report.ok
+        assert report.grants == 0
+
+    def test_grant_release_cycle_is_ok(self):
+        clock, journal = make_journal()
+        journal.record("epoch", epoch=1)
+        grant(journal, 1, [0], fence=1, token="t1")
+        clock.now = 5.0
+        journal.record("release", lease_id=1)
+        grant(journal, 2, [0], fence=2, token="t2")
+        report = audit_journal(journal)
+        assert report.ok
+        assert (report.grants, report.releases) == (2, 1)
+        assert report.epochs_seen == 1
+
+    def test_fence_rejections_counted_not_violations(self):
+        _, journal = make_journal()
+        grant(journal, 1, [0], fence=1)
+        journal.record("fence_reject", host=0, op="traffic",
+                       fence=0, current=1)
+        report = audit_journal(journal)
+        assert report.ok
+        assert report.fence_rejections == 1
+
+
+class TestSafetyViolations:
+    def test_double_allocation_detected(self):
+        _, journal = make_journal()
+        grant(journal, 1, [0, 1], fence=1)
+        grant(journal, 2, [1], fence=2)   # host 1 never freed
+        report = audit_journal(journal, require_replacement=False)
+        assert report.double_allocations == 1
+        assert report.by_kind() == {"double_allocation": 1}
+
+    def test_token_granted_twice_detected(self):
+        clock, journal = make_journal()
+        grant(journal, 1, [0], fence=1, token="tok")
+        clock.now = 1.0
+        journal.record("release", lease_id=1)
+        grant(journal, 2, [1], fence=2, token="tok")  # dedup failed
+        report = audit_journal(journal, require_replacement=False)
+        assert report.dedup_violations == 1
+
+    def test_retried_grant_same_lease_is_not_a_violation(self):
+        _, journal = make_journal()
+        grant(journal, 1, [0], fence=1, token="tok")
+        report = audit_journal(journal, require_replacement=False)
+        assert report.dedup_violations == 0
+
+    def test_fence_regression_detected(self):
+        clock, journal = make_journal()
+        grant(journal, 1, [0], fence=5)
+        clock.now = 1.0
+        journal.record("release", lease_id=1)
+        grant(journal, 2, [0], fence=5)   # not strictly increasing
+        report = audit_journal(journal, require_replacement=False)
+        assert not report.ok
+        assert "fence_regression" in report.by_kind()
+
+    def test_stale_admit_is_a_hard_violation(self):
+        _, journal = make_journal()
+        journal.record("stale_admit", host=0, op="traffic",
+                       fence=1, current=3)
+        report = audit_journal(journal)
+        assert report.stale_admits == 1
+        assert not report.ok
+
+
+class TestRevocationRemedies:
+    def test_replacement_grant_remedies_revocation(self):
+        clock, journal = make_journal()
+        grant(journal, 1, [0], fence=1)
+        clock.now = 2.0
+        journal.record("revoke", lease_id=1, service="svc", cause_host=0)
+        clock.now = 3.0
+        grant(journal, 2, [1], fence=2)
+        clock.now = 30.0
+        journal.record("epoch", epoch=1)  # moves end_time past the tail
+        assert audit_journal(journal).ok
+
+    def test_quarantine_of_cause_host_remedies_revocation(self):
+        clock, journal = make_journal()
+        grant(journal, 1, [0], fence=1)
+        clock.now = 2.0
+        journal.record("revoke", lease_id=1, service="svc", cause_host=0)
+        journal.record("quarantine", host=0, until=10.0)
+        clock.now = 30.0
+        journal.record("epoch", epoch=1)
+        assert audit_journal(journal).ok
+
+    def test_unremedied_revocation_detected(self):
+        clock, journal = make_journal()
+        grant(journal, 1, [0], fence=1)
+        clock.now = 2.0
+        journal.record("revoke", lease_id=1, service="svc", cause_host=0)
+        clock.now = 30.0
+        journal.record("epoch", epoch=1)
+        report = audit_journal(journal)
+        assert report.unremedied_revocations == 1
+
+    def test_tail_grace_exempts_campaign_end(self):
+        clock, journal = make_journal()
+        grant(journal, 1, [0], fence=1)
+        clock.now = 29.0
+        journal.record("expire", lease_id=1, service="svc")
+        clock.now = 30.0
+        journal.record("epoch", epoch=1)
+        assert not audit_journal(journal).ok
+        assert audit_journal(journal, tail_grace=5.0).ok
+
+
+class TestLifecycleCounters:
+    def test_crash_restart_epochs_counted(self):
+        clock, journal = make_journal()
+        journal.record("epoch", epoch=1)
+        journal.record("crash")
+        journal.record("restart", recovered=0)
+        journal.record("epoch", epoch=2)
+        report = audit_journal(journal)
+        assert (report.crashes, report.restarts) == (1, 1)
+        assert report.epochs_seen == 2

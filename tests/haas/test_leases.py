@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.haas import Constraints, Lease, LeaseState
+from repro.haas import (
+    EPOCH_STRIDE,
+    Constraints,
+    Lease,
+    LeaseState,
+    lease_id_for,
+)
 
 
 def make_lease(granted_at=0.0, duration=100.0):
@@ -12,8 +18,19 @@ def make_lease(granted_at=0.0, duration=100.0):
 
 
 class TestLease:
-    def test_unique_ids(self):
-        assert make_lease().lease_id != make_lease().lease_id
+    def test_epoch_scoped_ids(self):
+        # IDs from different epochs never collide, and within an epoch
+        # they are sequential — no process-global counter involved.
+        assert lease_id_for(1, 1) != lease_id_for(2, 1)
+        assert lease_id_for(1, 2) == lease_id_for(1, 1) + 1
+        assert lease_id_for(2, 1) == 2 * EPOCH_STRIDE + 1
+
+    def test_identity_semantics(self):
+        # Leases are identity objects: an SM's copy of a grant compares
+        # unequal to the RM's original even when every field matches.
+        a, b = make_lease(), make_lease()
+        assert a != b
+        assert a == a
 
     def test_active_window(self):
         lease = make_lease(granted_at=10.0, duration=50.0)

@@ -1,15 +1,19 @@
 """Tests for the HaaS recovery machinery added for chaos hardening:
 lease expiry + renewal races, RM quarantine, the SM replacement retry
-loop, and the FM periodic health monitor."""
+loop, the FM periodic health monitor, and RM crash recovery."""
 
 import pytest
 
 from repro.core import ConfigurableCloud
 from repro.fpga import Image, ShellConfig
 from repro.haas import (
+    EPOCH_STRIDE,
+    Constraints,
     FpgaHealth,
+    LeaseExpired,
     LeaseState,
     ResourceManager,
+    ServerUnavailable,
     ServiceManager,
 )
 from repro.net import TopologyConfig, idle
@@ -95,6 +99,57 @@ class TestExpiryAndRenewal:
         with pytest.raises(KeyError):
             rm.renew(lease)
 
+    def test_renew_of_expired_unswept_lease_rejected(self):
+        """The expiry race: a renew arriving after ``expires_at`` but
+        before the sweeper's next pass must NOT resurrect the lease."""
+        cloud = make_cloud(0, 1, lease=2.0, sweep=60.0)
+        env, rm = cloud.env, cloud.resource_manager
+        lease = rm.acquire("svc", Constraints(count=1))
+        held = list(lease.hosts)
+        env.run(until=lease.expires_at + 0.5)  # dead, not yet swept
+        with pytest.raises(LeaseExpired):
+            rm.renew(lease)
+        # The rejected renew settled the lease's fate on the spot.
+        assert lease.state is LeaseState.EXPIRED
+        assert rm.stats.expirations == 1
+        assert rm.stats.renew_rejections == 1
+        for host in held:
+            assert host in rm.free_hosts()
+
+    def test_suspension_past_lease_lifetime_expires_then_replaces(self):
+        """Heartbeat suspension x expiry sweep: a stall longer than the
+        lease loses the component; the sweep-driven revocation push gets
+        it replaced, and resumed heartbeats keep the replacement."""
+        cloud = make_cloud(0, 1, 2, lease=4.0, sweep=0.5)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        sm.grow(1)
+        sm.start_heartbeat(1.0)
+        env.run(until=env.now + 3.0)
+        assert rm.stats.expirations == 0  # heartbeat is doing its job
+        sm.suspend_heartbeat(6.0)         # > lease duration
+        env.run(until=env.now + 6.0 + 2 * rm._sweep_period)
+        assert rm.stats.expirations == 1
+        assert sm.stats.replacements == 1
+        # Heartbeats resumed: the replacement stays alive indefinitely.
+        env.run(until=env.now + 3 * rm.lease_duration)
+        assert rm.stats.expirations == 1
+        assert len(sm.hosts) == 1
+
+    def test_short_suspension_within_lease_slack_is_harmless(self):
+        cloud = make_cloud(0, lease=4.0, sweep=0.5)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        sm.grow(1)
+        sm.start_heartbeat(1.0)
+        env.run(until=env.now + 2.0)
+        sm.suspend_heartbeat(2.0)  # < remaining lease slack
+        env.run(until=env.now + 8.0)
+        assert rm.stats.expirations == 0
+        assert sm.stats.replacements == 0
+
 
 class TestQuarantine:
     def test_failed_host_benched_then_rehabilitated(self):
@@ -125,6 +180,18 @@ class TestQuarantine:
         env.run(until=lease.expires_at + 1.0)
         assert rm.stats.expirations == 1
         assert rm.stats.quarantines == 0
+
+    def test_lapsed_entries_pruned_by_sweeper(self):
+        """The quarantine table must not grow forever: the sweeper
+        drops entries once they lapse (not merely stops honoring them)."""
+        cloud = make_cloud(0, 1, quarantine=1.0, sweep=0.5)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        rm.manager(0).mark_failed("flaky", hard=False)
+        assert 0 in rm._quarantine_until
+        env.run(until=env.now + 1.0 + 2 * rm._sweep_period)
+        assert not rm.in_quarantine(0)
+        assert 0 not in rm._quarantine_until  # entry gone, not stale
 
 
 class TestReplacementRetry:
@@ -237,3 +304,105 @@ class TestFpgaMonitor:
         states = [(old, new) for _, old, new, _ in fm.transitions]
         assert (FpgaHealth.HEALTHY, FpgaHealth.FAILED) in states
         assert states[-1][1] is FpgaHealth.HEALTHY
+
+
+class TestUnregisterReregister:
+    def test_unregister_of_allocated_host_revokes_its_lease(self):
+        cloud = make_cloud(0, 1, lease=60.0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        lease = sm.grow(1)[0]
+        victim = lease.hosts[0]
+        rm.unregister(victim)
+        assert lease.state is LeaseState.REVOKED
+        assert not rm.is_allocated(victim)
+        # The SM replaced onto the remaining host straight away.
+        assert len(sm.hosts) == 1
+        assert sm.hosts[0] != victim
+
+    def test_reregistered_host_leasable_with_fence_discipline(self):
+        cloud = make_cloud(0, 1, lease=60.0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        old = sm.grow(1)[0]
+        victim = old.hosts[0]
+        manager = rm.manager(victim)
+        rm.unregister(victim)
+        rm.register(manager)  # the host re-enrolls (e.g. re-racked)
+        assert victim in rm.free_hosts()
+        fresh = rm.acquire("other", Constraints(count=1,
+                                                exclude_hosts=[]))
+        # It may or may not pick the victim, but if it does, the new
+        # grant must outrank the revoked one.
+        if victim in fresh.hosts:
+            assert fresh.fence > old.fence
+            assert not manager.admit_traffic(old.fence)
+
+
+class TestRmCrashRecovery:
+    def test_restart_replays_journal_and_bumps_epoch(self):
+        cloud = make_cloud(0, 1, 2, lease=60.0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        sm.grow(2)
+        held = sorted(sm.hosts)
+        rm.crash()
+        assert rm.crashed
+        with pytest.raises(ServerUnavailable):
+            rm.acquire("probe", Constraints(count=1))
+        recovered = rm.restart()
+        assert recovered == 2
+        assert rm.epoch == 2
+        # Same hosts, same lease ids — replayed, not re-granted.
+        for host in held:
+            assert rm.is_allocated(host)
+        for lease in sm.leases:
+            assert rm.renew(lease) == env.now  # the RM still honors them
+        # Post-restart grants come from the new epoch's id space.
+        fresh = rm.acquire("other", Constraints(count=1))
+        assert fresh.lease_id // EPOCH_STRIDE == 2
+        assert fresh.rm_epoch == 2
+
+    def test_restart_reconciles_host_that_died_while_down(self):
+        cloud = make_cloud(0, 1, lease=60.0, quarantine=5.0)
+        env, rm = cloud.env, cloud.resource_manager
+        settle(cloud, 2.0)
+        sm = ServiceManager(env, "svc", rm, IMAGE)
+        lease = sm.grow(1)[0]
+        victim = lease.hosts[0]
+        rm.crash()
+        cloud.fabric.detach(victim)  # the host dies during the outage
+        fm = rm.manager(victim)
+        env.run(until=env.now + 3 * fm.monitor_period)
+        assert fm.health is FpgaHealth.FAILED
+        rm.restart()
+        # Replay recovered the lease, reconciliation then revoked it:
+        # the dead host must not come back allocated.
+        assert not rm.is_allocated(victim)
+        assert rm.in_quarantine(victim)
+        assert rm.stats.revocations == 1
+
+    def test_double_crash_and_restart_are_idempotent(self):
+        cloud = make_cloud(0)
+        rm = cloud.resource_manager
+        rm.crash()
+        rm.crash()            # no-op, not an error
+        assert rm.restart() == 0
+        assert rm.restart() == 0  # already up: no second epoch bump
+        assert rm.stats.crashes == 1
+        assert rm.stats.restarts == 1
+
+    def test_sweeper_idles_while_crashed(self):
+        cloud = make_cloud(0, lease=1.0, sweep=0.2)
+        env, rm = cloud.env, cloud.resource_manager
+        lease = rm.acquire("svc", Constraints(count=1))
+        rm.crash()
+        env.run(until=lease.expires_at + 2.0)
+        assert rm.stats.expirations == 0  # a dead RM expires nothing
+        rm.restart()
+        env.run(until=env.now + 1.0)
+        # The recovered lease is past due: the first live sweep acts.
+        assert rm.stats.expirations == 1
