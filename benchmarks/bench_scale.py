@@ -1,0 +1,267 @@
+"""Sharded-simulation scale benchmark — the ISSUE 10 acceptance gates.
+
+Runs a Fig. 10-style idle-RTT sweep over the paper's full-size fabric
+(253,440 reachable hosts — "more than a quarter million") through the
+multi-process shard driver (``repro.sim.shard``), and the identical
+workload single-process as the reference.  Gates:
+
+* **agreement** — merged P50/P99 per tier from the sharded run must
+  match the single-process reference within the documented tolerance
+  (5% / 10%; the seam model draws jitter from different streams, so
+  agreement is statistical, not bitwise),
+* **determinism** — per-shard digests must be bit-identical across two
+  runs of the same spec (quick mode; full mode reuses the quick gate in
+  CI),
+* **calibration** — the merged L2 tier must stay inside the paper's
+  envelope ("L2 latency never exceeded 23.5 us in any of our
+  experiments"),
+* **scale** — the swept fabric must reach 100k+ hosts and the sharded
+  run must finish in minutes.
+
+Run standalone to append a run to the committed trajectory file::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py          # full
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick  # CI smoke
+
+``BENCH_scale.json`` keeps a bounded ``history`` of prior runs so the
+trajectory across PRs stays in the repo, not in CI logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.net.topology import TopologyConfig  # noqa: E402
+from repro.sim.shard import (  # noqa: E402
+    PingTask,
+    ShardDriver,
+    run_reference,
+)
+
+HISTORY_LIMIT = 50
+
+#: Documented merge tolerance vs the single-process reference.
+P50_TOLERANCE = 0.05
+P99_TOLERANCE = 0.10
+#: Paper: "L2 latency never exceeded 23.5 us in any of our experiments."
+L2_MAX_SECONDS = 23.5e-6
+#: The sweep must cover the paper's >100k-host scale.
+MIN_REACHABLE_HOSTS = 100_000
+
+SEED = 17
+MESSAGE_GAP = 100e-6
+
+
+def build_workload(l0_pairs: int, l1_pairs: int, l2_pairs: int,
+                   messages: int,
+                   config: TopologyConfig) -> List[PingTask]:
+    """A deterministic Fig. 10-style pair sample across all tiers.
+
+    L0 pairs share rack (0, 0); L1 pairs are cross-rack within a pod
+    (pods 1..); L2 pairs stride across the full pod range so the sweep
+    touches hosts from index 0 to the top of the 253k-host fabric.
+    """
+    per_pod = config.hosts_per_pod
+    per_tor = config.hosts_per_tor
+    tasks: List[PingTask] = []
+    for i in range(l0_pairs):
+        tasks.append(PingTask(src=2 * i, dst=2 * i + 1,
+                              messages=messages, gap=MESSAGE_GAP))
+    pairs_per_pod = config.tors_per_pod // 2
+    for i in range(l1_pairs):
+        pod = 1 + i // pairs_per_pod
+        rack = 2 * (i % pairs_per_pod)
+        tasks.append(PingTask(
+            src=pod * per_pod + rack * per_tor,
+            dst=pod * per_pod + (rack + 1) * per_tor + 1,
+            messages=messages, gap=MESSAGE_GAP))
+    for i in range(l2_pairs):
+        # Within-rack offsets 8/9 keep L2 endpoints clear of the L0/L1
+        # hosts above; (pod, rack) combos repeat only after
+        # lcm(pods/2, tors_per_pod) pairs, far beyond the sweep size.
+        src_pod = (2 * i) % config.pods
+        dst_pod = (2 * i + 1) % config.pods
+        src = src_pod * per_pod + (i % config.tors_per_pod) * per_tor + 8
+        dst = dst_pod * per_pod + \
+            ((i + 13) % config.tors_per_pod) * per_tor + 9
+        tasks.append(PingTask(src=src, dst=dst,
+                              messages=messages, gap=MESSAGE_GAP))
+    sources = [t.src for t in tasks]
+    assert len(sources) == len(set(sources)), "source hosts must be unique"
+    return tasks
+
+
+def run_suite(quick: bool = False) -> Dict[str, object]:
+    config = TopologyConfig()
+    if quick:
+        workload = build_workload(2, 4, 6, messages=30, config=config)
+        num_shards = 4
+    else:
+        workload = build_workload(4, 48, 460, messages=40, config=config)
+        num_shards = 8
+
+    driver = ShardDriver(seed=SEED, num_shards=num_shards)
+    t0 = time.time()
+    sharded = driver.run(workload)
+    sharded_wall = time.time() - t0
+
+    t0 = time.time()
+    reference = run_reference(workload, seed=SEED)
+    reference_wall = time.time() - t0
+
+    digests = [s["digest"] for s in sharded.per_shard]
+    if quick:
+        # Determinism gate: a second run of the same spec must produce
+        # bit-identical per-shard digests.
+        repeat = ShardDriver(seed=SEED, num_shards=num_shards).run(workload)
+        digests_stable = [s["digest"] for s in repeat.per_shard] == digests
+    else:
+        digests_stable = True  # gated in quick/CI mode
+
+    metrics: Dict[str, object] = {
+        "hosts_reachable": config.total_hosts,
+        "hosts_active": len({t.src for t in workload}
+                            | {t.dst for t in workload}),
+        "pairs": len(workload),
+        "shards": sharded.plan.num_shards,
+        "lookahead_us": round(sharded.lookahead * 1e6, 4),
+        "windows": sharded.windows,
+        "boundary_records": sharded.boundary_records,
+        "events_processed": sharded.events_processed,
+        "rtt_samples": sharded.total_samples,
+        "sharded_wall_s": round(sharded_wall, 3),
+        "reference_wall_s": round(reference_wall, 3),
+        "digests_stable": bool(digests_stable),
+        "per_shard_digests": digests,
+        "cpu_count": os.cpu_count(),
+    }
+    for tier in sorted(reference):
+        ref, got = reference[tier], sharded.tiers.get(tier)
+        metrics[f"{tier}_count"] = ref.count
+        metrics[f"{tier}_ref_p50_us"] = round(ref.p50 * 1e6, 4)
+        metrics[f"{tier}_ref_p99_us"] = round(ref.p99 * 1e6, 4)
+        if got is not None and got.count:
+            metrics[f"{tier}_p50_us"] = round(got.p50 * 1e6, 4)
+            metrics[f"{tier}_p99_us"] = round(got.p99 * 1e6, 4)
+            metrics[f"{tier}_max_us"] = round(got.max * 1e6, 4)
+            metrics[f"{tier}_p50_err"] = round(
+                abs(got.p50 - ref.p50) / ref.p50, 5)
+            metrics[f"{tier}_p99_err"] = round(
+                abs(got.p99 - ref.p99) / ref.p99, 5)
+    return {
+        "schema": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "gates": {
+            "p50_tolerance": P50_TOLERANCE,
+            "p99_tolerance": P99_TOLERANCE,
+            "l2_max_us": L2_MAX_SECONDS * 1e6,
+            "min_reachable_hosts": MIN_REACHABLE_HOSTS,
+        },
+        "metrics": metrics,
+    }
+
+
+def check_gates(metrics: Dict[str, object]) -> List[str]:
+    failures: List[str] = []
+    if metrics["hosts_reachable"] < MIN_REACHABLE_HOSTS:
+        failures.append(
+            f"fabric spans {metrics['hosts_reachable']} hosts "
+            f"(gate: >= {MIN_REACHABLE_HOSTS})")
+    for tier in ("L0", "L1", "L2"):
+        if f"{tier}_p50_us" not in metrics:
+            failures.append(f"tier {tier} produced no merged samples")
+            continue
+        if metrics[f"{tier}_p50_err"] > P50_TOLERANCE:
+            failures.append(
+                f"{tier} merged p50 off by "
+                f"{metrics[f'{tier}_p50_err']:.1%} "
+                f"(gate: <= {P50_TOLERANCE:.0%})")
+        if metrics[f"{tier}_p99_err"] > P99_TOLERANCE:
+            failures.append(
+                f"{tier} merged p99 off by "
+                f"{metrics[f'{tier}_p99_err']:.1%} "
+                f"(gate: <= {P99_TOLERANCE:.0%})")
+    if "L2_max_us" in metrics and \
+            metrics["L2_max_us"] > L2_MAX_SECONDS * 1e6:
+        failures.append(
+            f"L2 max {metrics['L2_max_us']:.2f} us exceeds the paper's "
+            f"{L2_MAX_SECONDS * 1e6:.1f} us envelope")
+    if not metrics["digests_stable"]:
+        failures.append("per-shard digests changed between identical "
+                        "runs — shard determinism is broken")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Trajectory file
+# ----------------------------------------------------------------------
+def write_result(result: Dict[str, object], path: Path) -> None:
+    """Write ``result`` to ``path``, carrying forward the run history."""
+    history: List[Dict[str, object]] = []
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, ValueError):
+            previous = None
+        if isinstance(previous, dict) and "metrics" in previous:
+            history = list(previous.get("history", []))
+            history.append({k: previous[k] for k in
+                            ("quick", "python", "timestamp", "metrics")
+                            if k in previous})
+    result = dict(result)
+    result["history"] = history[-HISTORY_LIMIT:]
+    path.write_text(json.dumps(result, indent=1) + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep, 4 shards (CI smoke)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_scale.json",
+                        help="result/trajectory file to write")
+    args = parser.parse_args(argv)
+
+    result = run_suite(quick=args.quick)
+    for name, value in sorted(result["metrics"].items()):
+        if name == "per_shard_digests":
+            continue
+        print(f"{name:>24}: {value}")
+    failures = check_gates(result["metrics"])
+    write_result(result, args.output)
+    print(f"wrote {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        return 1
+    print("all scale gates passed")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest gates (the acceptance criteria, asserted)
+# ----------------------------------------------------------------------
+def test_scale_gates():
+    result = run_suite(quick=True)
+    metrics = result["metrics"]
+    assert check_gates(metrics) == []
+    assert metrics["shards"] == 4
+    assert metrics["boundary_records"] > 0
+    assert metrics["windows"] > 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ Two halves, mirroring the paper:
 Run:  python examples/search_ranking.py
 """
 
+from repro.sim import RandomStreams
 from repro.ranking import (
     AccelerationMode,
     BoostedStumpModel,
@@ -39,7 +40,10 @@ def functional_demo() -> None:
 
     labels = [synthetic_relevance(query.terms, d.terms, d.quality)
               for d in documents]
-    model = BoostedStumpModel(num_rounds=30).fit(software_features, labels)
+    model = BoostedStumpModel(
+        num_rounds=30,
+        rng=RandomStreams(seed=0).stream("ranking-model"),
+    ).fit(software_features, labels)
     ranking = model.rank(software_features)
 
     print(f"query terms: {query.terms}")

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 from ..core.metrics import LatencyRecorder
 from ..overload.deadline import expires_at_of
 from ..overload.hedging import HedgeController
-from ..sim import Environment, Resource
+from ..sim import Environment, RandomStreams, Resource
 from ..trace.stages import Stage
 from .accelerator import DnnAccelerator, DnnAcceleratorConfig
 
@@ -80,15 +80,17 @@ class DnnPool:
     efficient until it truly runs out of aggregate throughput.
     """
 
-    def __init__(self, env: Environment, num_fpgas: int,
+    def __init__(self, env: Environment, num_fpgas: int, rng: random.Random,
                  accelerator_config: Optional[DnnAcceleratorConfig] = None,
-                 remote: Optional[RemoteNetworkModel] = None,
-                 rng: Optional[random.Random] = None):
+                 remote: Optional[RemoteNetworkModel] = None):
         if num_fpgas < 1:
             raise ValueError("pool needs at least one FPGA")
         self.env = env
         self.remote = remote
-        self.rng = rng or random.Random(0)
+        # Required: derive per-pool streams from RandomStreams (e.g.
+        # ``streams.stream("dnn-pool")``) — the old seed-0 fallback
+        # correlated network jitter across pools and shard processes.
+        self.rng = rng
         self.accelerators = [
             DnnAccelerator(accelerator_config) for _ in range(num_fpgas)]
         self._slots = [Resource(env, capacity=1) for _ in range(num_fpgas)]
@@ -320,12 +322,16 @@ def run_oversubscription_point(num_clients: int, num_fpgas: int,
     (capacity / 3 per client, so the pool saturates at 3 clients/FPGA).
     """
     env = Environment()
-    pool = DnnPool(env, num_fpgas, accelerator_config=accelerator_config,
-                   remote=remote, rng=random.Random(seed))
+    # SHA-256-derived child streams (process-stable; see repro.sim):
+    # the pool's network jitter and every client's arrival process get
+    # independent streams off the one experiment seed.
+    streams = RandomStreams(seed=seed)
+    pool = DnnPool(env, num_fpgas, rng=streams.stream("dnn-pool"),
+                   accelerator_config=accelerator_config, remote=remote)
     client_rate = pool.accelerators[0].capacity_rps / 3.0
 
     def client(client_id: int):
-        rng = random.Random(seed * 1000 + client_id)
+        rng = streams.stream(f"client-{client_id}")
         for _ in range(requests_per_client):
             env.process(pool.request())
             yield env.timeout(rng.expovariate(client_rate))

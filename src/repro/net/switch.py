@@ -83,9 +83,8 @@ class Switch:
     """
 
     def __init__(self, env: Environment, name: str, tier: str,
-                 forwarding_latency: float,
+                 forwarding_latency: float, rng: random.Random,
                  background: Optional[BackgroundTrafficModel] = None,
-                 rng: Optional[random.Random] = None,
                  ecn: Optional[EcnConfig] = None,
                  pfc: Optional[PfcConfig] = None):
         self.env = env
@@ -93,7 +92,12 @@ class Switch:
         self.tier = tier
         self.forwarding_latency = forwarding_latency
         self.background = background
-        self.rng = rng or random.Random(0)
+        # Required: every switch must be given its own derived child
+        # stream (``RandomStreams.stream(f"switch:{name}")``).  The old
+        # ``rng or random.Random(0)`` fallback silently gave distinct
+        # switches an identical seed-0 stream — across shard processes
+        # that correlates jitter that must be independent.
+        self.rng = rng
         self.ecn = ecn or EcnConfig()
         self.pfc = pfc or PfcConfig()
         self.stats = SwitchStats()

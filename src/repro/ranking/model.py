@@ -35,12 +35,15 @@ class BoostedStumpModel:
     """Least-squares gradient boosting over decision stumps."""
 
     def __init__(self, num_rounds: int = 50, learning_rate: float = 0.3,
-                 thresholds_per_feature: int = 8,
-                 rng: Optional[random.Random] = None):
+                 thresholds_per_feature: int = 8, *, rng: random.Random):
         self.num_rounds = num_rounds
         self.learning_rate = learning_rate
         self.thresholds_per_feature = thresholds_per_feature
-        self.rng = rng or random.Random(0)
+        # Required: pass a stream derived from RandomStreams so model
+        # randomization never silently shares seed 0 with other
+        # components (training itself is deterministic today, but the
+        # rng is part of the model's public construction contract).
+        self.rng = rng
         self.base_score = 0.0
         self.stumps: List[Stump] = []
 

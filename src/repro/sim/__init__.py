@@ -24,7 +24,7 @@ from .events import (
     SimulationError,
     Timeout,
 )
-from .kernel import EmptySchedule, Environment
+from .kernel import NORMAL, URGENT, EmptySchedule, Environment
 from .randomness import RandomStreams, percentile
 from .resources import Container, PriorityStore, Resource, Store
 from .trace import TraceRecord, Tracer
@@ -38,6 +38,8 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "NORMAL",
+    "URGENT",
     "PriorityStore",
     "Process",
     "RandomStreams",

@@ -360,6 +360,41 @@ class Environment:
         self._smin = None
         return entry
 
+    def _remove_entry(self, entry: Tuple) -> None:
+        """Remove a specific scheduled ``entry`` from whichever layer
+        holds it (the entry is known to be queued).
+
+        ``seq`` values are unique, so tuple equality implies identity.
+        Only the bounded-run sentinel cleanup uses this — it is O(bucket)
+        and never on the hot path.
+        """
+        if self._head is entry:
+            self._head = None
+            return
+        when = entry[0]
+        bid = int(when * self._width_inv)
+        bucket = self._cal.get(bid)
+        if bucket is not None:
+            try:
+                bucket.remove(entry)
+            except ValueError:
+                bucket = None  # not in its natural bucket: overflow
+            else:
+                if not bucket:
+                    del self._cal[bid]
+                    # A stale id may linger in _cal_ids; _extract and
+                    # _structure_min skip ids with missing buckets.
+                # list.remove broke the heap invariant if this bucket
+                # was the active (heapified) one; force a re-heapify on
+                # next access.
+                if self._active_bid == bid:
+                    self._active_bid = -1
+        if bucket is None:
+            self._overflow.remove(entry)
+            heapify(self._overflow)
+        self._ssize -= 1
+        self._smin = None
+
     def schedule(self, event: Event, priority: int = NORMAL,
                  delay: float = 0.0) -> None:
         """Place a triggered event on the schedule ``delay`` s from now."""
@@ -499,6 +534,7 @@ class Environment:
         # increment per event in the hottest loop of the repo.
         seq0 = self._seq
         size0 = self._ssize + (self._head is not None)
+        sentinel: Optional[Tuple] = None
         if stop_time != _INF:
             # Bounded run.  Comparing ``entry[0] > stop_time`` on every
             # pop costs ~40% of loop throughput (measured: 1.25M vs
@@ -508,10 +544,32 @@ class Environment:
             # instant; dispatching it raises :class:`_StopRun`, ending
             # the run.  The head-slot invariant (head <= structure min)
             # guarantees the chain fast path below can never overtake
-            # the sentinel.  The identity token keeps a sentinel
-            # orphaned by an exception from stopping a later run.
+            # the sentinel.  The entry tuple is kept so a run that
+            # terminates with an exception can remove its own sentinel
+            # in the ``finally`` below — left behind, it would be a
+            # phantom schedule entry (``len``/``peek`` would report a
+            # nonexistent event at ``stop_time``) that the next bounded
+            # run would pop and miscount.  The identity token
+            # additionally keeps any stale sentinel from stopping a
+            # later run.
             token = self._stop_token = object()
-            push(stop_time, _LAST, Deferred(self._raise_stop, (token,)))
+            seq = self._seq
+            self._seq = seq + 1
+            sentinel = (stop_time, _LAST, seq,
+                        Deferred(self._raise_stop, (token,)))
+            head = self._head
+            if head is None:
+                if self._ssize == 0 or \
+                        sentinel < (self._smin or self._structure_min()):
+                    self._head = sentinel
+                else:
+                    self._insert(sentinel)
+            elif sentinel < head:
+                self._insert(head)
+                self._head = sentinel
+            else:
+                self._insert(sentinel)
+        consumed = False
         try:
             while True:
                 entry = self._head
@@ -591,10 +649,18 @@ class Environment:
                 if not event._ok and not event._defused:
                     raise event._value
         except _StopRun:
-            # The sentinel's own seq draw is not a simulation event.
-            seq0 += 1
+            consumed = True
         finally:
             self._stop_token = None
+            if sentinel is not None:
+                if not consumed:
+                    # An exception escaped mid-window: pull the unspent
+                    # sentinel back out so repeated bounded runs stay
+                    # exactly equivalent to one long run.
+                    self._remove_entry(sentinel)
+                # The sentinel's own seq draw is not a simulation event
+                # (whether it was dispatched or surgically removed).
+                seq0 += 1
             self.events_processed += (self._seq - seq0) - (
                 self._ssize + (self._head is not None) - size0)
         if stop_time != _INF:

@@ -40,13 +40,28 @@ def test_merge_preserves_extremes():
         a.record(x)
     for x in _samples(4, 500):
         b.record(x)
-    lo = min(a._heights[0], b._heights[0])
-    hi = max(a._heights[4], b._heights[4])
+    lo = min(a.minimum, b.minimum)
+    hi = max(a.maximum, b.maximum)
     a.merge(b)
-    assert a._heights[0] == lo
-    assert a._heights[4] == hi
-    # Heights stay a nondecreasing ladder (P² structural invariant).
-    assert all(x <= y for x, y in zip(a._heights, a._heights[1:]))
+    assert a.minimum == lo
+    assert a.maximum == hi
+    # The estimate stays inside the represented sample range.
+    assert lo <= a.value <= hi
+
+
+def test_merge_snapshots_other():
+    """Mutating the source digest after a merge must not leak through."""
+    a, b = StreamingQuantile(50.0), StreamingQuantile(50.0)
+    for x in _samples(3, 100):
+        a.record(x)
+    for x in _samples(4, 100):
+        b.record(x)
+    a.merge(b)
+    before = a.value
+    for _ in range(500):
+        b.record(1e9)
+    assert a.value == before
+    assert a.count == 200
 
 
 def test_merge_small_other_replays_raw_samples():

@@ -8,13 +8,14 @@ from repro.dnn.pool import (
     oversubscription_sweep,
     run_oversubscription_point,
 )
-from repro.sim import Environment
+from repro.sim import Environment, RandomStreams
 
 
 class TestDnnPool:
     def test_requests_complete(self):
         env = Environment()
-        pool = DnnPool(env, num_fpgas=2)
+        pool = DnnPool(env, num_fpgas=2,
+                       rng=RandomStreams(seed=1).stream("dnn-pool"))
         for _ in range(10):
             env.process(pool.request())
         env.run()
@@ -23,7 +24,8 @@ class TestDnnPool:
 
     def test_join_shortest_queue_balances(self):
         env = Environment()
-        pool = DnnPool(env, num_fpgas=4)
+        pool = DnnPool(env, num_fpgas=4,
+                       rng=RandomStreams(seed=2).stream("dnn-pool"))
         for _ in range(40):
             env.process(pool.request())
         env.run()
@@ -34,7 +36,8 @@ class TestDnnPool:
 
     def test_remove_fpga_shrinks_pool(self):
         env = Environment()
-        pool = DnnPool(env, num_fpgas=3)
+        pool = DnnPool(env, num_fpgas=3,
+                       rng=RandomStreams(seed=3).stream("dnn-pool"))
         pool.remove_fpga()
         assert pool.num_fpgas == 2
         with pytest.raises(ValueError):
@@ -43,13 +46,15 @@ class TestDnnPool:
 
     def test_empty_pool_rejected(self):
         with pytest.raises(ValueError):
-            DnnPool(Environment(), num_fpgas=0)
+            DnnPool(Environment(), num_fpgas=0,
+                    rng=RandomStreams(seed=4).stream("dnn-pool"))
 
     def test_remote_adds_latency(self):
         from repro.dnn.accelerator import DnnAcceleratorConfig
         deterministic = DnnAcceleratorConfig(service_sigma=1e-9)
         env = Environment()
         local = DnnPool(env, num_fpgas=1,
+                        rng=RandomStreams(seed=5).stream("dnn-pool"),
                         accelerator_config=deterministic)
         env.process(local.request())
         env.run()
@@ -59,6 +64,7 @@ class TestDnnPool:
         remote_model = RemoteNetworkModel(tail_probability=0.0,
                                           retransmit_probability=0.0)
         remote = DnnPool(env2, num_fpgas=1, remote=remote_model,
+                         rng=RandomStreams(seed=5).stream("dnn-pool"),
                          accelerator_config=deterministic)
         env2.process(remote.request())
         env2.run()

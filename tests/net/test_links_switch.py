@@ -11,7 +11,7 @@ from repro.net.packet import (
     TrafficClass,
 )
 from repro.net.switch import EcnConfig, PfcConfig, Switch
-from repro.sim import Environment
+from repro.sim import Environment, RandomStreams
 
 
 def make_packet(payload_bytes=100, tc=TrafficClass.BEST_EFFORT,
@@ -132,6 +132,7 @@ class TestPfcConfig:
 class TestSwitch:
     def _switch(self, env, **kwargs):
         switch = Switch(env, "sw", "tor", forwarding_latency=0.5e-6,
+                        rng=RandomStreams(seed=0).stream("switch:sw"),
                         background=idle(), **kwargs)
         return switch
 

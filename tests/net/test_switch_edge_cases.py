@@ -14,7 +14,7 @@ from repro.net import (
 from repro.net.latency import idle as idle_model
 from repro.net.links import Port
 from repro.net.switch import Switch
-from repro.sim import Environment
+from repro.sim import Environment, RandomStreams
 
 from .test_links_switch import make_packet
 
@@ -26,6 +26,7 @@ class TestLosslessOverflow:
         rather than silently dropping."""
         env = Environment()
         switch = Switch(env, "sw", "tor", forwarding_latency=0.1e-6,
+                        rng=RandomStreams(seed=0).stream("switch:sw"),
                         background=idle_model(),
                         pfc=PfcConfig(xoff_bytes=10 ** 9,
                                       xon_bytes=10 ** 8))
@@ -46,6 +47,7 @@ class TestLosslessOverflow:
     def test_multiple_upstreams_all_paused(self):
         env = Environment()
         switch = Switch(env, "sw", "tor", forwarding_latency=0.1e-6,
+                        rng=RandomStreams(seed=0).stream("switch:sw"),
                         background=idle_model(),
                         pfc=PfcConfig(xoff_bytes=1000, xon_bytes=400))
         slow = Port(env, "out", rate_bps=1e3, distance_m=0.0,

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.ranking.corpus import SyntheticCorpus
+from repro.sim import RandomStreams
 from repro.ranking.features import FeatureExtractor
 from repro.ranking.ffu import (
     FfuConfig,
@@ -44,7 +45,8 @@ class TestBoostedModel:
 
     def test_fit_reduces_error(self):
         features, labels = self._training_set()
-        model = BoostedStumpModel(num_rounds=40)
+        model = BoostedStumpModel(num_rounds=40,
+                                  rng=RandomStreams(seed=11).stream("model"))
         model.fit(features, labels)
         mean = sum(labels) / len(labels)
         baseline_sse = sum((l - mean) ** 2 for l in labels)
@@ -60,7 +62,9 @@ class TestBoostedModel:
         vectors = extractor.extract_all(docs)
         labels = [synthetic_relevance(query.terms, d.terms, d.quality)
                   for d in docs]
-        model = BoostedStumpModel(num_rounds=30).fit(vectors, labels)
+        model = BoostedStumpModel(
+            num_rounds=30,
+            rng=RandomStreams(seed=12).stream("model")).fit(vectors, labels)
         predicted = model.rank(vectors)
         truth = sorted(range(40), key=lambda i: -labels[i])
         overlap = len(set(predicted[:10]) & set(truth[:10]))
@@ -68,13 +72,16 @@ class TestBoostedModel:
 
     def test_empty_training_rejected(self):
         with pytest.raises(ValueError):
-            BoostedStumpModel().fit([], [])
+            BoostedStumpModel(
+                rng=RandomStreams(seed=13).stream("model")).fit([], [])
 
     def test_mismatched_lengths_rejected(self):
         features, labels = self._training_set(n_queries=1,
                                               docs_per_query=3)
         with pytest.raises(ValueError):
-            BoostedStumpModel().fit(features, labels[:-1])
+            BoostedStumpModel(
+                rng=RandomStreams(seed=13).stream("model")).fit(
+                features, labels[:-1])
 
 
 class TestQueryWork:
